@@ -1,0 +1,55 @@
+"""Ablation (§III-B1b): depth-first vs width-first feature map scanning.
+
+The paper's Figure 4 argument: depth-first scanning needs Θ(I·K) buffer per
+line versus Θ(I·W + K) for width-first, so all images are streamed pixel by
+pixel, channels innermost.  This bench quantifies the buffer savings across
+the paper's layer shapes.
+"""
+
+import pytest
+
+from repro.dataflow import depth_first_buffer_elements, width_first_buffer_elements
+from repro.eval.reporting import ExperimentResult
+
+# (label, line length incl. padding, channels, k) — representative layers.
+LAYERS = [
+    ("vgg conv1_2 @32", 34, 64, 3),
+    ("vgg conv3_2 @32", 10, 256, 3),
+    ("vgg conv1_2 @144", 146, 64, 3),
+    ("alexnet conv2", 31, 96, 5),
+    ("resnet conv2_x", 58, 64, 3),
+    ("resnet conv5_x", 9, 512, 3),
+]
+
+
+def scan_order_table() -> ExperimentResult:
+    rows = []
+    for label, line, ch, k in LAYERS:
+        depth = depth_first_buffer_elements(line, ch, k)
+        widthf = width_first_buffer_elements(line, line, ch, k)
+        rows.append(
+            {
+                "layer": label,
+                "depth-first (elems)": depth,
+                "width-first (elems)": widthf,
+                "savings": f"{widthf / depth:.1f}x",
+            }
+        )
+    return ExperimentResult(
+        exp_id="ablation-scan-order",
+        title="Depth-first vs width-first window buffering (§III-B1b)",
+        columns=["layer", "depth-first (elems)", "width-first (elems)", "savings"],
+        rows=rows,
+    )
+
+
+def test_scan_order_ablation(benchmark, reporter):
+    result = benchmark(scan_order_table)
+    reporter(benchmark, result)
+    for row in result.rows:
+        assert row["depth-first (elems)"] < row["width-first (elems)"]
+    # savings grow with line length (W ≫ K): the paper's asymptotic argument
+    savings = [r["width-first (elems)"] / r["depth-first (elems)"] for r in result.rows]
+    small = savings[0]  # line 34
+    large = savings[2]  # line 146
+    assert large > small

@@ -1,0 +1,31 @@
+"""Accuracy experiment: 2-bit activations beat 1-bit (the paper's headline).
+
+Paper claims reproduced in *ordering* (absolute numbers need ImageNet):
+AlexNet top-1 41.8% (binary) -> 51.03% (2-bit); VGG-like CIFAR-10
+80.1% (FINN, binary) -> 84.2% (ours, 2-bit).  Here the same topology is
+trained with 1-bit and 2-bit activations on the synthetic CIFAR-like
+dataset and evaluated through the exported integer inference path.
+"""
+
+from repro.eval import accuracy_experiment
+
+
+def run_both() -> dict[str, float]:
+    acc2 = accuracy_experiment(act_bits=2, seed=0)
+    acc1 = accuracy_experiment(act_bits=1, seed=0)
+    return {"acc_2bit": acc2, "acc_1bit": acc1}
+
+
+def test_two_bit_activations_beat_one_bit(benchmark):
+    result = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    benchmark.extra_info.update(result)
+    print(
+        f"\n2-bit activations: {result['acc_2bit']:.3f}  "
+        f"1-bit activations: {result['acc_1bit']:.3f}  (chance 0.200)"
+    )
+    chance = 0.2
+    assert result["acc_2bit"] > chance + 0.1, "2-bit model failed to learn"
+    assert result["acc_1bit"] > chance, "1-bit model at or below chance"
+    assert result["acc_2bit"] >= result["acc_1bit"], (
+        "paper's ordering violated: 2-bit must be at least as accurate"
+    )

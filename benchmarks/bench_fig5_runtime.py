@@ -1,0 +1,22 @@
+"""Figure 5: runtime of the streaming architecture vs GPUs across input sizes.
+
+Reproduced shape: the DFE beats the GPU at 32x32 (the paper's 12%; kernel
+invocation overhead dominates small inputs on the GPU) while GPUs win at
+large inputs (paper: ~4x for ResNet-18 at 224x224).
+"""
+
+from repro.eval import run_experiment
+
+
+def test_figure5_runtime(benchmark, reporter):
+    result = benchmark(run_experiment, "figure5")
+    reporter(benchmark, result)
+    rows = {(r["input"], r["network"]): r for r in result.rows}
+    small = rows[("32x32", "vgg-like")]
+    assert small["DFE (ms)"] < small["P100 (ms)"]
+    assert small["DFE (ms)"] < small["GTX1080 (ms)"]
+    resnet = rows[("224x224", "resnet18")]
+    assert resnet["P100 (ms)"] < resnet["DFE (ms)"]
+    # runtime grows monotonically with input size on the DFE (vgg rows)
+    vgg_ms = [rows[(f"{s}x{s}", "vgg-like")]["DFE (ms)"] for s in (32, 96, 144)]
+    assert vgg_ms == sorted(vgg_ms)

@@ -1,0 +1,23 @@
+"""Figure 6: resource utilisation vs input size (change from the 32x32 baseline).
+
+Reproduced shape: increasing the input from 32x32 to 96x96 costs only ~5%
+of every resource class — the architecture's headline scalability claim.
+"""
+
+from repro.eval import run_experiment
+
+
+def test_figure6_resources(benchmark, reporter):
+    result = benchmark(run_experiment, "figure6")
+    reporter(benchmark, result)
+    rows = {r["input"]: r for r in result.rows}
+
+    def growth(row, key):
+        return float(row[key].rstrip("%"))
+
+    assert growth(rows["96x96"], "LUT vs 32") < 8.0
+    assert growth(rows["96x96"], "FF vs 32") < 8.0
+    assert growth(rows["96x96"], "BRAM vs 32") < 8.0
+    # growth is monotone in input size
+    luts = [growth(rows[f"{s}x{s}"], "LUT vs 32") for s in (32, 64, 96, 144, 224)]
+    assert luts == sorted(luts)

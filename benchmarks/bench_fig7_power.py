@@ -1,0 +1,23 @@
+"""Figure 7: power consumption of FPGA- vs GPU-based systems.
+
+Reproduced shape: DFE power is an order of magnitude below the GPUs for
+single-DFE designs, and rises when a network needs multiple DFEs (AlexNet
+on three).
+"""
+
+from repro.eval import run_experiment
+
+
+def test_figure7_power(benchmark, reporter):
+    result = benchmark(run_experiment, "figure7")
+    reporter(benchmark, result)
+    single = [r for r in result.rows if r["DFEs"] == 1]
+    multi = [r for r in result.rows if r["DFEs"] > 1]
+    assert single and multi
+    for r in single:
+        assert r["GPU/DFE"] > 8, f"{r['input']}: only {r['GPU/DFE']:.1f}x"
+    # multi-DFE power is higher than single-DFE power
+    assert min(r["DFE (W)"] for r in multi) > max(r["DFE (W)"] for r in single)
+    # but still well below the GPUs
+    for r in multi:
+        assert r["GPU/DFE"] > 2

@@ -1,0 +1,18 @@
+"""Figure 8: energy per single-image inference.
+
+Reproduced shape: the FPGA needs less energy per image everywhere — by an
+order of magnitude for the small single-DFE design, and still materially
+less ("at least 50%") when multiple FPGAs are used.
+"""
+
+from repro.eval import run_experiment
+
+
+def test_figure8_energy(benchmark, reporter):
+    result = benchmark(run_experiment, "figure8")
+    reporter(benchmark, result)
+    ratios = {(r["input"], r["network"]): r["GPU/DFE"] for r in result.rows}
+    # Best case is the small input, order of magnitude
+    assert ratios[("32x32", "vgg-like")] > 8
+    # Every configuration saves at least ~50% energy (ratio >= 1.5)
+    assert all(v >= 1.5 for v in ratios.values()), ratios

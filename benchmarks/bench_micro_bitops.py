@@ -1,0 +1,50 @@
+"""Microbenchmarks: XNOR-popcount arithmetic vs dense integer matmul.
+
+Not a paper artefact per se, but the substrate behind §III-B1: these
+measure the packed-bit arithmetic primitives the conv kernel uses and the
+memory footprint advantage of 1-bit weight storage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.quantization import (
+    BitPackedMatrix,
+    BitplaneTensor,
+    bitplane_gemm,
+    pack_signs,
+    xnor_popcount_gemm,
+)
+
+O, N, K = 128, 256, 1152  # a conv3_2-sized matrix multiply
+RNG = np.random.default_rng(0)
+W = RNG.choice([-1, 1], size=(O, K)).astype(np.int8)
+X_BIN = RNG.choice([-1, 1], size=(N, K)).astype(np.int8)
+X_LVL = RNG.integers(0, 4, size=(N, K))
+
+W_PACKED = pack_signs(W)
+X_PACKED = pack_signs(X_BIN)
+X_PLANES = list(BitplaneTensor.from_levels(X_LVL, 2).planes)
+
+
+def test_xnor_gemm_throughput(benchmark):
+    result = benchmark(xnor_popcount_gemm, W_PACKED, X_PACKED, K)
+    assert (result == X_BIN.astype(np.int64) @ W.astype(np.int64).T).all()
+
+
+def test_dense_gemm_reference(benchmark):
+    wf = W.astype(np.int64).T
+    xf = X_BIN.astype(np.int64)
+    result = benchmark(lambda: xf @ wf)
+    assert result.shape == (N, O)
+
+
+def test_bitplane_gemm_throughput(benchmark):
+    result = benchmark(bitplane_gemm, W_PACKED, X_PLANES)
+    assert (result == X_LVL @ W.astype(np.int64).T).all()
+
+
+def test_weight_packing_throughput(benchmark):
+    packed = benchmark(BitPackedMatrix.from_signs, W)
+    # 1-bit storage: 64x smaller than int64, 8x smaller than int8.
+    assert packed.nbytes * 8 <= W.size + 64 * O

@@ -1,0 +1,14 @@
+"""§IV-B1: GPU minibatch amortisation vs single-image DFE streaming."""
+
+from repro.eval import run_experiment
+
+
+def test_minibatch_amortisation(benchmark, reporter):
+    result = benchmark(run_experiment, "minibatch")
+    reporter(benchmark, result)
+    rows = {r["batch"]: r for r in result.rows}
+    # per-image GPU time falls with batch ("very small inference time
+    # degradation" at 128-256) while the DFE column is flat.
+    assert rows[256]["P100 ms/image"] < rows[1]["P100 ms/image"]
+    assert rows[128]["P100 ms/image"] < 0.7 * rows[1]["P100 ms/image"]
+    assert rows[1]["DFE ms/image"] == rows[256]["DFE ms/image"]

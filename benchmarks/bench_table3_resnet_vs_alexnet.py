@@ -1,0 +1,24 @@
+"""Table III: ResNet-18 vs AlexNet resources and runtime (224x224).
+
+Reproduced shape claims: ResNet needs more LUTs/FFs but fewer BRAMs than
+AlexNet; both meet real time; AlexNet needs 3 DFEs and ResNet 2.
+"""
+
+from repro.eval import run_experiment
+
+
+def test_table3_resnet_vs_alexnet(benchmark, reporter):
+    result = benchmark(run_experiment, "table3")
+    reporter(benchmark, result)
+    rows = {r["network"]: r for r in result.rows}
+    # Resource shape (who is bigger in what) as in the paper.
+    assert rows["resnet18"]["LUT"] > rows["alexnet"]["LUT"]
+    assert rows["resnet18"]["FF"] > rows["alexnet"]["FF"]
+    assert rows["resnet18"]["BRAM (Kbits)"] < rows["alexnet"]["BRAM (Kbits)"]
+    # ResNet is slower on the DFE, as measured by the paper.
+    assert rows["resnet18"]["runtime (ms)"] > rows["alexnet"]["runtime (ms)"]
+    # Multi-DFE requirements (abstract: two and three FPGAs).
+    assert rows["alexnet"]["DFEs"] == 3
+    assert rows["resnet18"]["DFEs"] == 2
+    # Calibration pins LUT/FF/BRAM of ResNet-18 to the paper within 5%.
+    assert abs(rows["resnet18"]["LUT"] - 596081) / 596081 < 0.05

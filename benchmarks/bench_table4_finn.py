@@ -1,0 +1,21 @@
+"""Table IV: comparison with FINN at 32x32.
+
+Trend claims reproduced: FINN is faster and lower-power; our 2-bit
+activation design is more accurate (1-bit vs 2-bit ordering measured by
+actually training both variants — see bench_accuracy_bits for the full
+training run; here the quick mode checks resources/time/power).
+"""
+
+from repro.eval import run_experiment
+
+
+def test_table4_finn_comparison(benchmark, reporter):
+    result = benchmark(run_experiment, "table4", quick=True)
+    reporter(benchmark, result)
+    metrics = {r["metric"]: r for r in result.rows}
+    assert metrics["time (ms)"]["FINN"] < metrics["time (ms)"]["DFE (ours)"]
+    assert metrics["power (W)"]["FINN"] < metrics["power (W)"]["DFE (ours)"]
+    assert metrics["LUT"]["FINN"] < metrics["LUT"]["DFE (ours)"]
+    assert metrics["BRAM (Kbits)"]["FINN"] < metrics["BRAM (Kbits)"]["DFE (ours)"]
+    # Our DFE design point matches the paper's measured 12 W / 0.8 ms scale.
+    assert 10 < metrics["power (W)"]["DFE (ours)"] < 14

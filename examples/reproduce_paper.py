@@ -1,0 +1,27 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Prints Tables I-IV, Figures 5-8 and the §IV-B4 scalability analysis with
+our measured values next to the paper's published ones.  Pass ``--quick``
+to skip the training-based accuracy rows of Table IV.
+
+Run:  python examples/reproduce_paper.py [--quick]
+"""
+
+import sys
+import time
+
+from repro.eval import run_all
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    t0 = time.time()
+    for result in run_all(quick=quick):
+        print(result.render())
+        print()
+    print(f"(regenerated all artefacts in {time.time() - t0:.1f} s"
+          f"{', quick mode' if quick else ''})")
+
+
+if __name__ == "__main__":
+    main()

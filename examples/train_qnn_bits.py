@@ -1,0 +1,49 @@
+"""Activation bit-width study: why the paper uses 2-bit activations.
+
+The paper's motivation (§I, §IV-B3): "in contrast to previous works, we use
+2-bit activations instead of 1-bit ones, which improves AlexNet's top-1
+accuracy from 41.8% to 51.03%", and on the VGG-like network 84.2% vs
+FINN's 80.1%.  This example trains the same topology with 1-, 2- and 3-bit
+activations on the synthetic dataset and reports integer-path accuracy and
+the hardware cost of each choice (wider activations stream more bits and
+buffer more, narrower ones lose accuracy).
+
+Run:  python examples/train_qnn_bits.py
+"""
+
+import numpy as np
+
+from repro.datasets import make_dataset
+from repro.hardware import estimate_network, estimate_network_timing
+from repro.models import build_vgg_like, direct_vgg_graph
+from repro.nn import export_model, input_to_levels
+from repro.nn.inference import classify
+from repro.nn.training import train
+
+
+def main() -> None:
+    ds = make_dataset("cifar10-like", n_train=480, n_test=200, classes=5, size=16, seed=3)
+    print(f"dataset: {ds.name} {ds.x_train.shape} -> {ds.classes} classes (chance {1 / ds.classes:.3f})")
+
+    print(f"\n{'bits':>5s} {'accuracy':>9s} {'LUT (full)':>11s} {'FF (full)':>10s} {'stream bits':>12s}")
+    accuracies = {}
+    for bits in (1, 2, 3):
+        model = build_vgg_like(input_size=16, width=0.25, classes=5, act_bits=bits, seed=3)
+        train(model, ds.x_train, ds.y_train, epochs=8, batch_size=32, lr=2e-3, seed=3)
+        graph = export_model(model, ds.input_shape, name=f"cnv-{bits}b")
+        levels = input_to_levels(ds.x_test, model.layers[0].quantizer)
+        acc = float((classify(graph, levels) == ds.y_test).mean())
+        accuracies[bits] = acc
+        # hardware cost of the same choice at full CNV size
+        cost = estimate_network(direct_vgg_graph(32, act_bits=bits)).total
+        print(f"{bits:>5d} {acc:>9.3f} {cost.luts:>11,.0f} {cost.ffs:>10,.0f} {bits:>12d}")
+
+    print("\npaper's ordering (2-bit > 1-bit) reproduced:",
+          accuracies[2] >= accuracies[1])
+    print("diminishing returns beyond 2 bits (the paper's chosen trade-off):",
+          f"Δ(1->2) = {accuracies[2] - accuracies[1]:+.3f},",
+          f"Δ(2->3) = {accuracies[3] - accuracies[2]:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""repro — Streaming Architecture for Large-Scale Quantized Neural Networks
+on an FPGA-Based Dataflow Platform (Baskin et al., IPPS 2018): a complete
+Python reproduction.
+
+Subpackages
+-----------
+``repro.quantization``
+    Bit-packed XNOR/AND-popcount arithmetic, quantizers, threshold folding.
+``repro.nn``
+    Reference ops, QAT training (STE autograd), integer inference IR.
+``repro.dataflow``
+    Cycle-driven Maxeler-style streaming substrate (streams, kernels,
+    engine, manager, multi-DFE links).
+``repro.kernels``
+    The QNN streaming kernels of paper §III-B.
+``repro.models``
+    VGG-like / AlexNet / ResNet-18 model zoo.
+``repro.hardware``
+    Stratix V resource, timing, power models; GPU baseline model;
+    multi-DFE partitioner.
+``repro.baselines``
+    FINN comparison model.
+``repro.datasets``
+    Synthetic stand-ins for CIFAR-10 / STL-10 / ImageNet.
+``repro.eval``
+    The experiment harness regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,5 @@
+"""Comparator baselines: the FINN-style accelerator model."""
+
+from .finn import FINN_PAPER_POINT, FinnOperatingPoint, build_finn_cnv, finn_performance_model
+
+__all__ = ["FINN_PAPER_POINT", "FinnOperatingPoint", "build_finn_cnv", "finn_performance_model"]

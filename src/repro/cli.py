@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``reproduce [--quick] [EXP_ID ...]``
+    Regenerate the paper's tables/figures (default: all of them).
+``report NETWORK [--size N] [--device stratix5|stratix10]``
+    Full design report (resources / partition / timing / power / GPU
+    baseline) for ``vgg``, ``alexnet`` or ``resnet18``.
+``simulate [--size N] [--images M]``
+    Train nothing, build a tiny random-threshold network, stream images
+    through the cycle-accurate simulator and print the pipeline waterfall.
+``list``
+    List available experiment ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from .eval import EXPERIMENTS
+
+    for exp_id in EXPERIMENTS:
+        print(exp_id)
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .eval import EXPERIMENTS, run_experiment
+
+    exp_ids = args.experiments or list(EXPERIMENTS)
+    for exp_id in exp_ids:
+        result = run_experiment(exp_id, quick=args.quick)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .hardware import STRATIX_10_PROJECTION, STRATIX_V_5SGSD8
+    from .hardware.report import build_design_report
+    from .models import direct_alexnet_graph, direct_resnet18_graph, direct_vgg_graph
+
+    device = STRATIX_10_PROJECTION if args.device == "stratix10" else STRATIX_V_5SGSD8
+    if args.network == "vgg":
+        graph = direct_vgg_graph(args.size or 32, pool_to=4)
+    elif args.network == "alexnet":
+        graph = direct_alexnet_graph(args.size or 224)
+    elif args.network == "resnet18":
+        graph = direct_resnet18_graph(args.size or 224)
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(args.network)
+    print(build_design_report(graph, device=device).render())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .dataflow import simulate
+    from .dataflow.tracing import analyze_run, render_waterfall
+    from .models import direct_vgg_graph
+
+    size = args.size
+    if size % 8:
+        print(f"size must be divisible by 8, got {size}", file=sys.stderr)
+        return 2
+    graph = direct_vgg_graph(size, width=0.0625, classes=4)
+    rng = np.random.default_rng(args.seed)
+    images = rng.integers(0, 4, size=(args.images, size, size, 3))
+    run = simulate(graph, images)
+    print(
+        f"{args.images} image(s) through {graph.name}: {run.cycles:,} cycles; "
+        f"latency {run.latency_cycles:,}"
+    )
+    if args.images > 1:
+        print(f"steady-state interval: {run.run.steady_state_interval:,.0f} cycles/image")
+    trace = analyze_run(run.run)
+    print(render_waterfall(trace))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Streaming QNN-on-FPGA reproduction (Baskin et al., IPPS 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiment ids")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_rep = sub.add_parser("reproduce", help="regenerate paper tables/figures")
+    p_rep.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    p_rep.add_argument("--quick", action="store_true", help="skip training-based rows")
+    p_rep.set_defaults(func=_cmd_reproduce)
+
+    p_report = sub.add_parser("report", help="design report for a network")
+    p_report.add_argument("network", choices=["vgg", "alexnet", "resnet18"])
+    p_report.add_argument("--size", type=int, default=None, help="input resolution")
+    p_report.add_argument("--device", choices=["stratix5", "stratix10"], default="stratix5")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_sim = sub.add_parser("simulate", help="cycle-simulate a tiny network")
+    p_sim.add_argument("--size", type=int, default=16)
+    p_sim.add_argument("--images", type=int, default=1)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Maxeler-style streaming dataflow substrate: streams, kernels, engine, manager."""
+
+from .engine import Engine, RunResult
+from .kernel import Kernel, KernelStats
+from .links import MAXRING, PCIE_GEN2_X8, LinkSpec, required_bandwidth_mbps
+from .manager import (
+    DEFAULT_STREAM_CAPACITY,
+    SKIP_STREAM_CAPACITY,
+    LinkCrossing,
+    Pipeline,
+    StreamingRun,
+    build_pipeline,
+    simulate,
+)
+from .stream import Stream, StreamStats
+from .tracing import KernelWindow, PipelineTrace, analyze_run, render_waterfall
+from .window import (
+    ScanWindow,
+    depth_first_buffer_elements,
+    skip_buffer_elements,
+    width_first_buffer_elements,
+)
+
+__all__ = [
+    "Engine",
+    "RunResult",
+    "Kernel",
+    "KernelStats",
+    "MAXRING",
+    "PCIE_GEN2_X8",
+    "LinkSpec",
+    "required_bandwidth_mbps",
+    "DEFAULT_STREAM_CAPACITY",
+    "SKIP_STREAM_CAPACITY",
+    "LinkCrossing",
+    "Pipeline",
+    "StreamingRun",
+    "build_pipeline",
+    "simulate",
+    "KernelWindow",
+    "PipelineTrace",
+    "analyze_run",
+    "render_waterfall",
+    "Stream",
+    "StreamStats",
+    "ScanWindow",
+    "depth_first_buffer_elements",
+    "skip_buffer_elements",
+    "width_first_buffer_elements",
+]

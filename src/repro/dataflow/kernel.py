@@ -1,0 +1,80 @@
+"""Kernel base class: the unit of functional decomposition.
+
+Each NN layer becomes one kernel (§III: "each layer is represented in the
+DFE Manager by a single function call").  A kernel owns input and output
+streams and implements :meth:`tick`, which the engine calls once per clock
+cycle.  The contract mirrors the paper's hardware model:
+
+* at most one element consumed per input stream per cycle,
+* at most one element produced per output stream per cycle,
+* a kernel starts computing as soon as enough data has accumulated in its
+  internal buffer — there is no layer-level barrier.
+
+Kernels accumulate activity statistics so runs can quantify pipeline
+overlap, initiation intervals, and stall causes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .stream import Stream
+
+__all__ = ["Kernel", "KernelStats"]
+
+
+@dataclass
+class KernelStats:
+    """Per-kernel activity counters."""
+
+    active_cycles: int = 0
+    input_starved_cycles: int = 0
+    output_blocked_cycles: int = 0
+    idle_cycles: int = 0
+    first_active_cycle: int | None = None
+    last_active_cycle: int | None = None
+    elements_in: int = 0
+    elements_out: int = 0
+
+    def mark_active(self, cycle: int) -> None:
+        self.active_cycles += 1
+        if self.first_active_cycle is None:
+            self.first_active_cycle = cycle
+        self.last_active_cycle = cycle
+
+
+class Kernel:
+    """Base dataflow kernel."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.inputs: list[Stream] = []
+        self.outputs: list[Stream] = []
+        self.stats = KernelStats()
+
+    def connect_input(self, stream: Stream) -> None:
+        self.inputs.append(stream)
+
+    def connect_output(self, stream: Stream) -> None:
+        self.outputs.append(stream)
+
+    def tick(self, cycle: int) -> None:  # pragma: no cover - abstract
+        """Advance one clock cycle."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear run state (image-independent parameters persist)."""
+        self.stats = KernelStats()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+    # convenience helpers ------------------------------------------------
+    def _starved(self, cycle: int) -> None:
+        self.stats.input_starved_cycles += 1
+
+    def _blocked(self, cycle: int) -> None:
+        self.stats.output_blocked_cycles += 1
+
+    def _idle(self, cycle: int) -> None:
+        self.stats.idle_cycles += 1

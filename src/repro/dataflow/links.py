@@ -1,0 +1,44 @@
+"""Inter-chip link models: PCIe (CPU <-> DFE) and MaxRing (DFE <-> DFE).
+
+The paper's §III-B6 bandwidth argument: a 2-bit pixel stream at a 105 MHz
+fabric clock needs only 210 Mbps of DFE-to-DFE bandwidth, while a MaxRing
+link provides several Gbps — so splitting a network across DFEs is
+essentially free.  These classes carry the numbers; the cycle simulator
+realises a link as extra stream latency, and the analytic timing model uses
+:meth:`LinkSpec.supports` to check feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinkSpec", "MAXRING", "PCIE_GEN2_X8", "required_bandwidth_mbps"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """An inter-chip serial link."""
+
+    name: str
+    bandwidth_gbps: float
+    latency_cycles: int
+
+    def supports(self, stream_bits: int, fclk_mhz: float) -> bool:
+        """Can this link sustain one ``stream_bits``-wide element per fabric clock?"""
+        return required_bandwidth_mbps(stream_bits, fclk_mhz) <= self.bandwidth_gbps * 1000.0
+
+    def utilization(self, stream_bits: int, fclk_mhz: float) -> float:
+        """Fraction of link bandwidth consumed by the stream."""
+        return required_bandwidth_mbps(stream_bits, fclk_mhz) / (self.bandwidth_gbps * 1000.0)
+
+
+def required_bandwidth_mbps(stream_bits: int, fclk_mhz: float) -> float:
+    """Bandwidth for one element per clock: ``bits × f_clk`` (the paper's 210 Mbps)."""
+    return stream_bits * fclk_mhz
+
+
+# The paper: "this link can be set to rates of up to several Gbps".
+MAXRING = LinkSpec(name="MaxRing", bandwidth_gbps=4.0, latency_cycles=16)
+
+# The host link; generous for a 2-bit pixel stream either way.
+PCIE_GEN2_X8 = LinkSpec(name="PCIe Gen2 x8", bandwidth_gbps=32.0, latency_cycles=64)

@@ -1,0 +1,323 @@
+"""The DFE Manager: lowers a LayerGraph into a streaming kernel pipeline.
+
+This mirrors the paper's development model: "each layer is represented in
+the DFE Manager by a single function call ... the building of the network
+is similar to the process of building in high level frameworks."  Given an
+exported :class:`~repro.nn.graph.LayerGraph`, :func:`build_pipeline`
+instantiates one kernel per IR node, wires streams between them, inserts
+forks for skip connections, sizes skip delay buffers, and attaches the host
+source/sink.  :func:`simulate` runs the result cycle-accurately.
+
+Multi-DFE execution (§III-B6) is expressed as a partition of the node list:
+edges crossing a partition boundary become MaxRing-latency streams, and the
+report records the bandwidth each crossing requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.conv import ConvKernel
+from ..kernels.elementwise import AddKernel, ForkKernel
+from ..kernels.io import HostSink, HostSource
+from ..kernels.pooling import MaxPoolKernel
+from ..kernels.reduce import GlobalAvgSumKernel
+from ..kernels.threshold import ThresholdKernel
+from ..nn.graph import (
+    AddNode,
+    ConvNode,
+    GlobalAvgSumNode,
+    InputNode,
+    LayerGraph,
+    MaxPoolNode,
+    ThresholdNode,
+)
+from .engine import Engine, RunResult
+from .kernel import Kernel
+from .links import MAXRING, PCIE_GEN2_X8, LinkSpec, required_bandwidth_mbps
+from .stream import Stream
+
+__all__ = ["build_pipeline", "simulate", "StreamingRun", "LinkCrossing", "SKIP_STREAM_CAPACITY"]
+
+# Skip-path delay buffers are sized generously in simulation and their
+# *actual* high-water mark is asserted against the §III-B5 formula in tests,
+# turning the paper's "never creates delays by itself" claim into a check.
+SKIP_STREAM_CAPACITY = 1 << 22
+DEFAULT_STREAM_CAPACITY = 4
+
+
+@dataclass(frozen=True)
+class LinkCrossing:
+    """A graph edge mapped onto an inter-DFE link."""
+
+    edge: tuple[str, str]
+    from_dfe: int
+    to_dfe: int
+    stream_bits: int
+    required_mbps: float
+    link: LinkSpec
+
+
+@dataclass
+class Pipeline:
+    """A built (but not yet run) streaming network."""
+
+    engine: Engine
+    graph: LayerGraph
+    source: HostSource
+    sink: HostSink
+    kernels_by_node: dict[str, Kernel]
+    skip_streams: dict[str, Stream]
+    crossings: list[LinkCrossing]
+    dfe_of_node: dict[str, int]
+
+
+@dataclass
+class StreamingRun:
+    """Results of a cycle-accurate streaming execution."""
+
+    output: np.ndarray
+    cycles: int
+    run: RunResult
+    pipeline: Pipeline
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.run.latency_cycles
+
+    @property
+    def steady_state_interval(self) -> float:
+        return self.run.steady_state_interval
+
+
+def _node_to_kernel(graph: LayerGraph, name: str, use_bitops: bool) -> Kernel:
+    node = graph.nodes[name]
+    parents = graph.parents(name)
+    in_spec = graph.specs[parents[0]] if parents else None
+    if isinstance(node, ConvNode):
+        return ConvKernel(name, node, in_spec, use_bitops=use_bitops)
+    if isinstance(node, MaxPoolNode):
+        return MaxPoolKernel(name, node, in_spec)
+    if isinstance(node, ThresholdNode):
+        return ThresholdKernel(name, node, in_spec)
+    if isinstance(node, GlobalAvgSumNode):
+        return GlobalAvgSumKernel(name, in_spec)
+    if isinstance(node, AddNode):
+        return AddKernel(name, graph.specs[name].elements)
+    raise TypeError(f"no streaming kernel for node type {type(node).__name__}")
+
+
+def build_pipeline(
+    graph: LayerGraph,
+    images: np.ndarray,
+    use_bitops: bool = False,
+    partition: list[list[str]] | None = None,
+    link: LinkSpec = MAXRING,
+    host_link: LinkSpec = PCIE_GEN2_X8,
+    fclk_mhz: float = 105.0,
+) -> Pipeline:
+    """Instantiate kernels and streams for ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        An exported LayerGraph.
+    images:
+        Input level tensor ``(N, H, W, C)`` (or a single HWC image).
+    use_bitops:
+        Route convolution math through packed popcounts.
+    partition:
+        Optional list of node-name groups, one per DFE, covering all
+        compute nodes contiguously in topological order.  ``None`` puts
+        everything on one DFE.
+    """
+    graph.validate()
+    images = np.asarray(images)
+    if images.ndim == 3:
+        images = images[None]
+
+    dfe_of_node: dict[str, int] = {}
+    if partition is not None:
+        seen: set[str] = set()
+        for idx, group in enumerate(partition):
+            for node_name in group:
+                if node_name in seen:
+                    raise ValueError(f"node {node_name!r} assigned to two DFEs")
+                seen.add(node_name)
+                dfe_of_node[node_name] = idx
+        missing = set(graph.nodes) - seen - {graph.input_name}
+        if missing:
+            raise ValueError(f"partition misses nodes: {sorted(missing)}")
+    else:
+        for node_name in graph.nodes:
+            dfe_of_node[node_name] = 0
+    dfe_of_node.setdefault(graph.input_name, dfe_of_node.get(graph.topological()[1], 0))
+    # Host endpoints live with the first/last on-fabric kernel; the PCIe hop
+    # is accounted by the timing model, not as a MaxRing crossing.
+    dfe_of_node["host_sink"] = dfe_of_node.get(graph.output_name, 0)
+
+    engine = Engine(graph.name)
+    source = HostSource("host_source", images, graph.input_spec)
+    sink = HostSink("host_sink", graph.output_spec, images.shape[0])
+
+    kernels: dict[str, Kernel] = {}
+    engine.add_kernel(source)
+    topo = graph.topological()
+    for name in topo:
+        if name == graph.input_name:
+            continue
+        kernel = _node_to_kernel(graph, name, use_bitops)
+        kernels[name] = kernel
+        engine.add_kernel(kernel)
+    engine.add_kernel(sink)
+
+    # Producer lookup: IR node -> kernel producing its output stream.  The
+    # input node's "kernel" is the host source.
+    producer: dict[str, Kernel] = {graph.input_name: source}
+    producer.update(kernels)
+
+    skip_streams: dict[str, Stream] = {}
+    crossings: list[LinkCrossing] = []
+
+    # Insert forks for fan-out and wire every edge.
+    for name in topo:
+        consumers = graph.consumers(name)
+        spec = graph.specs[name]
+        prod = producer[name]
+        targets: list[tuple[Kernel, int]] = []
+        for consumer in consumers:
+            port = graph.graph.edges[name, consumer]["port"]
+            targets.append((kernels[consumer], port))
+        if name == graph.output_name:
+            targets.append((sink, 0))
+        if not targets:
+            continue
+        if len(targets) > 1:
+            # Fan-out (the skip-path split of Figure 2): insert a fork.
+            fork = ForkKernel(f"{name}.fork", spec.elements)
+            engine.kernels.insert(engine.kernels.index(prod) + 1, fork)
+            _make_stream(
+                f"{name}->fork", spec, prod, fork, dfe_of_node, name, name, link, fclk_mhz, crossings, engine
+            )
+            prod = fork
+        for consumer_kernel, port in sorted(targets, key=lambda t: t[1]):
+            _wire(
+                engine, graph, prod, consumer_kernel, name, port, spec, dfe_of_node, link, fclk_mhz, crossings, skip_streams
+            )
+
+    return Pipeline(
+        engine=engine,
+        graph=graph,
+        source=source,
+        sink=sink,
+        kernels_by_node=kernels,
+        skip_streams=skip_streams,
+        crossings=crossings,
+        dfe_of_node=dfe_of_node,
+    )
+
+
+def _make_stream(
+    name: str,
+    spec,
+    prod: Kernel,
+    cons: Kernel,
+    dfe_of_node: dict[str, int],
+    from_node: str,
+    to_node: str,
+    link: LinkSpec,
+    fclk_mhz: float,
+    crossings: list[LinkCrossing],
+    engine: Engine,
+    capacity: int = DEFAULT_STREAM_CAPACITY,
+) -> Stream:
+    latency = 0
+    d_from = dfe_of_node.get(from_node, 0)
+    d_to = dfe_of_node.get(to_node, 0)
+    if d_from != d_to:
+        latency = link.latency_cycles
+        crossings.append(
+            LinkCrossing(
+                edge=(from_node, to_node),
+                from_dfe=d_from,
+                to_dfe=d_to,
+                stream_bits=spec.stream_bits,
+                required_mbps=required_bandwidth_mbps(spec.stream_bits, fclk_mhz),
+                link=link,
+            )
+        )
+        # Link buffering must cover its own round-trip latency.
+        capacity = max(capacity, 2 * latency + 4)
+    stream = Stream(name, capacity=capacity, latency=latency, bits=spec.stream_bits)
+    engine.connect(prod, cons, stream)
+    return stream
+
+
+def _wire(
+    engine: Engine,
+    graph: LayerGraph,
+    prod: Kernel,
+    consumer_kernel: Kernel,
+    from_node: str,
+    port: int,
+    spec,
+    dfe_of_node: dict[str, int],
+    link: LinkSpec,
+    fclk_mhz: float,
+    crossings: list[LinkCrossing],
+    skip_streams: dict[str, Stream],
+) -> None:
+    to_node = consumer_kernel.name.removesuffix(".fork")
+    capacity = DEFAULT_STREAM_CAPACITY
+    is_skip = isinstance(consumer_kernel, AddKernel) and port == 1
+    if is_skip:
+        capacity = SKIP_STREAM_CAPACITY
+    stream = _make_stream(
+        f"{from_node}->{to_node}[{port}]",
+        spec,
+        prod,
+        consumer_kernel,
+        dfe_of_node,
+        from_node,
+        to_node,
+        link,
+        fclk_mhz,
+        crossings,
+        engine,
+        capacity=capacity,
+    )
+    if is_skip:
+        skip_streams[to_node] = stream
+
+
+def simulate(
+    graph: LayerGraph,
+    images: np.ndarray,
+    use_bitops: bool = False,
+    partition: list[list[str]] | None = None,
+    link: LinkSpec = MAXRING,
+    fclk_mhz: float = 105.0,
+    max_cycles: int = 50_000_000,
+) -> StreamingRun:
+    """Cycle-accurately stream ``images`` through ``graph``.
+
+    Returns the reassembled integer outputs together with latency and
+    throughput measurements; the outputs are bit-exact with
+    :func:`repro.nn.inference.run_graph` (tested property).
+    """
+    pipeline = build_pipeline(
+        graph, images, use_bitops=use_bitops, partition=partition, link=link, fclk_mhz=fclk_mhz
+    )
+    cycles = pipeline.engine.run(lambda: pipeline.sink.done, max_cycles=max_cycles)
+    kstats, sstats = pipeline.engine.collect_stats()
+    run = RunResult(
+        cycles=cycles,
+        completion_cycles=pipeline.sink.completion_cycles,
+        output=pipeline.sink.output_tensor(),
+        kernel_stats=kstats,
+        stream_stats=sstats,
+        converged=True,
+    )
+    return StreamingRun(output=run.output, cycles=cycles, run=run, pipeline=pipeline)

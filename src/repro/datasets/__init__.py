@@ -1,0 +1,5 @@
+"""Synthetic dataset substrate (stands in for CIFAR-10 / STL-10 / ImageNet)."""
+
+from .synthetic import DATASET_PRESETS, SyntheticImageDataset, make_dataset
+
+__all__ = ["DATASET_PRESETS", "SyntheticImageDataset", "make_dataset"]

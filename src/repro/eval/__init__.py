@@ -1,0 +1,44 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .experiments import EXPERIMENTS, SLOW_EXPERIMENTS, run_all, run_experiment
+from .figures import (
+    VGG_SWEEP_SIZES,
+    figure5_runtime,
+    minibatch_analysis,
+    figure6_resources,
+    figure7_power,
+    figure8_energy,
+    scalability_analysis,
+)
+from .reporting import ExperimentResult, format_series, format_table
+from .tables import (
+    accuracy_experiment,
+    cached_graph,
+    table1_resnet_architecture,
+    table2_hardware_spec,
+    table3_resnet_vs_alexnet,
+    table4_finn_comparison,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "SLOW_EXPERIMENTS",
+    "run_all",
+    "run_experiment",
+    "VGG_SWEEP_SIZES",
+    "figure5_runtime",
+    "minibatch_analysis",
+    "figure6_resources",
+    "figure7_power",
+    "figure8_energy",
+    "scalability_analysis",
+    "ExperimentResult",
+    "format_series",
+    "format_table",
+    "accuracy_experiment",
+    "cached_graph",
+    "table1_resnet_architecture",
+    "table2_hardware_spec",
+    "table3_resnet_vs_alexnet",
+    "table4_finn_comparison",
+]

@@ -1,0 +1,59 @@
+"""Experiment registry: one entry per table/figure of the paper.
+
+``run_experiment(exp_id)`` regenerates a single artefact;
+``run_all()`` regenerates everything (as ``examples/reproduce_paper.py``
+does).  Entries marked slow (training or cycle simulation) can be skipped
+with ``quick=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .figures import (
+    figure5_runtime,
+    minibatch_analysis,
+    figure6_resources,
+    figure7_power,
+    figure8_energy,
+    scalability_analysis,
+)
+from .reporting import ExperimentResult
+from .tables import (
+    table1_resnet_architecture,
+    table2_hardware_spec,
+    table3_resnet_vs_alexnet,
+    table4_finn_comparison,
+)
+
+__all__ = ["EXPERIMENTS", "SLOW_EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1_resnet_architecture,
+    "table2": table2_hardware_spec,
+    "table3": table3_resnet_vs_alexnet,
+    "table4": table4_finn_comparison,
+    "figure5": figure5_runtime,
+    "figure6": figure6_resources,
+    "figure7": figure7_power,
+    "figure8": figure8_energy,
+    "scalability": scalability_analysis,
+    "minibatch": minibatch_analysis,
+}
+
+# Experiments that train models or run long simulations.
+SLOW_EXPERIMENTS = {"table4"}
+
+
+def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
+    """Regenerate one table/figure by id."""
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}")
+    if exp_id == "table4" and quick:
+        return table4_finn_comparison(train_accuracy=False)
+    return EXPERIMENTS[exp_id]()
+
+
+def run_all(quick: bool = False) -> list[ExperimentResult]:
+    """Regenerate every table and figure, in paper order."""
+    return [run_experiment(exp_id, quick=quick) for exp_id in EXPERIMENTS]

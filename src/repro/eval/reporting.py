@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment tables and series.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep the formatting consistent and machine-greppable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentResult", "format_table", "format_series"]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]]
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"== {self.exp_id}: {self.title} ==", format_table(self.columns, self.rows)]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(columns: list[str], rows: list[dict[str, Any]]) -> str:
+    """Render rows of dicts as an aligned text table."""
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells)) if cells else len(c) for i, c in enumerate(columns)]
+    out = ["  ".join(c.ljust(w) for c, w in zip(columns, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        out.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def format_series(name: str, xs: list[Any], ys: list[float], unit: str = "") -> str:
+    """Render one figure series as 'name: x=y' pairs."""
+    pairs = ", ".join(f"{x}={_fmt(y)}{unit}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

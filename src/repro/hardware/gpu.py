@@ -1,0 +1,122 @@
+"""GPU baseline model: layer-sequential execution (paper §IV-B).
+
+The paper's GPU baseline runs Hubara et al.'s QNN code under Theano +
+cuDNN, which executes quantized layers as ordinary floating-point kernels
+launched one after another.  Two properties of that execution mode drive
+every GPU-side observation in the paper, and both are first-class in this
+model:
+
+* **fixed per-layer overhead** (kernel launch, framework dispatch) — why
+  the DFE wins at 32x32 ("presumably results from the overhead of kernel
+  invocation processes between the CPU and GPU") and why "twice as many
+  layers would take twice more time, even if GPU resources are not fully
+  utilized" (the +42.5% ResNet-over-AlexNet increase);
+* **minibatch amortisation** — "modern GPUs can process at least 128-256
+  inputs with very small inference time degradation", which helps batch
+  throughput but not real-time single-image latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.graph import (
+    AddNode,
+    ConvNode,
+    GlobalAvgSumNode,
+    InputNode,
+    LayerGraph,
+    MaxPoolNode,
+    ThresholdNode,
+)
+from .calibration import DEFAULT_GPU_CAL, GPUCalibration
+from .device import GPUSpec
+
+__all__ = ["GPUModel", "GPUTimingReport", "network_macs", "gpu_launch_count"]
+
+
+def network_macs(graph: LayerGraph) -> int:
+    """Multiply-accumulate count per image (convolutions and FC layers)."""
+    total = 0
+    for name in graph.order:
+        node = graph.nodes[name]
+        if isinstance(node, ConvNode):
+            out_spec = graph.specs[name]
+            total += out_spec.pixels * node.out_channels * (
+                node.kernel_size * node.kernel_size * node.in_channels
+            )
+    return total
+
+
+def gpu_launch_count(graph: LayerGraph) -> int:
+    """Major kernel launches per inference.
+
+    Convolutions, pooling and global reductions each dispatch a cuDNN /
+    Theano kernel; BatchNorm + activation and residual adds are cheap
+    elementwise ops that frameworks fuse, so they do not add a launch.
+    This is the layer count behind the paper's observation that "twice as
+    many layers would take twice more time" on a GPU.
+    """
+    launches = 0
+    for name in graph.order:
+        node = graph.nodes[name]
+        if isinstance(node, (ConvNode, MaxPoolNode, GlobalAvgSumNode)):
+            launches += 1
+    return launches
+
+
+@dataclass(frozen=True)
+class GPUTimingReport:
+    """Per-image GPU timing decomposition."""
+
+    compute_s: float
+    overhead_s: float
+    batch: int
+
+    @property
+    def per_image_s(self) -> float:
+        return self.compute_s + self.overhead_s
+
+    @property
+    def per_image_ms(self) -> float:
+        return self.per_image_s * 1000.0
+
+
+class GPUModel:
+    """Analytic GPU inference timing + power for a LayerGraph."""
+
+    def __init__(self, spec: GPUSpec, cal: GPUCalibration = DEFAULT_GPU_CAL) -> None:
+        self.spec = spec
+        self.cal = cal
+
+    def time_per_image(self, graph: LayerGraph, batch: int = 1) -> GPUTimingReport:
+        """Average per-image time for a minibatch of ``batch`` inputs.
+
+        Fixed overheads (invocation + per-layer launches) amortise over the
+        batch; compute scales per image until the saturation batch, after
+        which throughput is flat.
+        """
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        macs = network_macs(graph)
+        launches = gpu_launch_count(graph)
+        flops = 2.0 * macs
+        sustained = self.spec.peak_fp32_gflops * 1e9 * self.cal.conv_efficiency
+        # Below saturation the device is underutilised and per-image compute
+        # time barely falls with batch; model that as interpolation toward
+        # the saturated (fully parallel) regime.
+        fill = min(1.0, batch / self.cal.saturation_batch)
+        per_image_compute = (flops / sustained) * (1.0 - 0.35 * fill)
+        overhead = (
+            self.cal.invocation_overhead_s + launches * self.cal.layer_overhead_s
+        ) / batch
+        return GPUTimingReport(compute_s=per_image_compute, overhead_s=overhead, batch=batch)
+
+    def power_w(self) -> float:
+        """Board power while running inference."""
+        return self.spec.idle_power_w + self.cal.load_power_fraction * (
+            self.spec.tdp_w - self.spec.idle_power_w
+        )
+
+    def energy_per_image_j(self, graph: LayerGraph, batch: int = 1) -> float:
+        return self.power_w() * self.time_per_image(graph, batch).per_image_s

@@ -1,0 +1,19 @@
+"""QNN streaming kernels: the hardware building blocks of §III-B."""
+
+from .conv import ConvKernel
+from .elementwise import AddKernel, ForkKernel
+from .io import HostSink, HostSource
+from .pooling import MaxPoolKernel
+from .reduce import GlobalAvgSumKernel
+from .threshold import ThresholdKernel
+
+__all__ = [
+    "ConvKernel",
+    "AddKernel",
+    "ForkKernel",
+    "HostSink",
+    "HostSource",
+    "MaxPoolKernel",
+    "GlobalAvgSumKernel",
+    "ThresholdKernel",
+]

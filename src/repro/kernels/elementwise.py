@@ -1,0 +1,98 @@
+"""Element-wise streaming kernels: the residual adder and the stream fork.
+
+The paper's skip-connection infrastructure (§III-B5, Figure 2) is exactly
+these two pieces plus a delay buffer: the convolution output is *forked*
+into the regular path and the skip path, and a later *adder* sums the
+delayed skip stream with the next convolution's output.  "The addition of a
+skip connection requires a minimal amount of resources — one adder and the
+buffer."
+"""
+
+from __future__ import annotations
+
+from ..dataflow.kernel import Kernel
+
+__all__ = ["AddKernel", "ForkKernel"]
+
+
+class AddKernel(Kernel):
+    """Sum two integer streams element-wise (the residual adder).
+
+    Consumes one element from each input when both are available and the
+    output has space; the skip path carries 16-bit integers in hardware.
+    """
+
+    def __init__(self, name: str, per_image_elements: int) -> None:
+        super().__init__(name)
+        self._per_image = per_image_elements
+        self._count = 0
+        self.images_done = 0
+
+    def expected_cycles_per_image(self) -> int:
+        return self._per_image
+
+    def tick(self, cycle: int) -> None:
+        a, b = self.inputs
+        out = self.outputs[0]
+        if not (a.can_pop(cycle) and b.can_pop(cycle)):
+            self._starved(cycle)
+            return
+        if not out.can_push():
+            self._blocked(cycle)
+            return
+        va = a.pop(cycle)
+        vb = b.pop(cycle)
+        self.stats.elements_in += 2
+        out.push(va + vb, cycle)
+        self.stats.elements_out += 1
+        self.stats.mark_active(cycle)
+        self._count += 1
+        if self._count >= self._per_image:
+            self._count = 0
+            self.images_done += 1
+
+    def reset(self) -> None:
+        super().reset()
+        self._count = 0
+        self.images_done = 0
+
+
+class ForkKernel(Kernel):
+    """Duplicate a stream to N consumers (the skip-path split of Figure 2).
+
+    An element advances only when *every* output has space — a wire fork
+    has no storage of its own.
+    """
+
+    def __init__(self, name: str, per_image_elements: int) -> None:
+        super().__init__(name)
+        self._per_image = per_image_elements
+        self._count = 0
+        self.images_done = 0
+
+    def expected_cycles_per_image(self) -> int:
+        return self._per_image
+
+    def tick(self, cycle: int) -> None:
+        inp = self.inputs[0]
+        if not inp.can_pop(cycle):
+            self._starved(cycle)
+            return
+        if not all(o.can_push() for o in self.outputs):
+            self._blocked(cycle)
+            return
+        value = inp.pop(cycle)
+        self.stats.elements_in += 1
+        for o in self.outputs:
+            o.push(value, cycle)
+        self.stats.elements_out += len(self.outputs)
+        self.stats.mark_active(cycle)
+        self._count += 1
+        if self._count >= self._per_image:
+            self._count = 0
+            self.images_done += 1
+
+    def reset(self) -> None:
+        super().reset()
+        self._count = 0
+        self.images_done = 0

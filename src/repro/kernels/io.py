@@ -1,0 +1,101 @@
+"""Host-side source and sink kernels (the CPU ends of the PCIe streams).
+
+The paper keeps all pre-trained parameters on the CPU and streams images in
+"directly from the CPU" (unlike FINN, which stores inputs on-chip); results
+stream back for the CPU-side softmax/readout.  :class:`HostSource` replays
+a batch of images as a depth-first element stream; :class:`HostSink`
+reassembles output tensors and records per-image completion cycles — the
+measurement point for latency, throughput and initiation-interval claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataflow.kernel import Kernel
+from ..nn.graph import TensorSpec
+
+__all__ = ["HostSource", "HostSink"]
+
+
+class HostSource(Kernel):
+    """Streams a batch of images into the first on-fabric kernel."""
+
+    def __init__(self, name: str, images: np.ndarray, spec: TensorSpec) -> None:
+        super().__init__(name)
+        images = np.asarray(images)
+        if images.ndim == 3:
+            images = images[None]
+        expected = (spec.height, spec.width, spec.channels)
+        if images.shape[1:] != expected:
+            raise ValueError(f"images shape {images.shape[1:]} != input spec {expected}")
+        self.n_images = images.shape[0]
+        # Depth-first flattening: row, column, channel — C order of HWC.
+        self._flat = images.reshape(-1).astype(np.int64)
+        self._pos = 0
+
+    @property
+    def done(self) -> bool:
+        return self._pos >= self._flat.size
+
+    def tick(self, cycle: int) -> None:
+        if self.done:
+            self._idle(cycle)
+            return
+        out = self.outputs[0]
+        if out.push(int(self._flat[self._pos]), cycle):
+            self._pos += 1
+            self.stats.elements_out += 1
+            self.stats.mark_active(cycle)
+        else:
+            self._blocked(cycle)
+
+    def reset(self) -> None:
+        super().reset()
+        self._pos = 0
+
+
+class HostSink(Kernel):
+    """Collects the output stream and reassembles per-image tensors."""
+
+    def __init__(self, name: str, spec: TensorSpec, n_images: int) -> None:
+        super().__init__(name)
+        self.spec = spec
+        self.n_images = n_images
+        self._per_image = spec.elements
+        self._values = np.zeros(n_images * self._per_image, dtype=np.int64)
+        self._pos = 0
+        self.completion_cycles: list[int] = []
+
+    @property
+    def done(self) -> bool:
+        return self._pos >= self._values.size
+
+    def tick(self, cycle: int) -> None:
+        if self.done:
+            self._idle(cycle)
+            return
+        inp = self.inputs[0]
+        if not inp.can_pop(cycle):
+            self._starved(cycle)
+            return
+        self._values[self._pos] = inp.pop(cycle)
+        self._pos += 1
+        self.stats.elements_in += 1
+        self.stats.mark_active(cycle)
+        if self._pos % self._per_image == 0:
+            self.completion_cycles.append(cycle)
+
+    def output_tensor(self) -> np.ndarray:
+        """The collected outputs, shape (N, H, W, C)."""
+        if not self.done:
+            raise RuntimeError(f"sink {self.name!r}: only {self._pos}/{self._values.size} elements received")
+        return self._values.reshape(
+            self.n_images, self.spec.height, self.spec.width, self.spec.channels
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._values.fill(0)
+        self._pos = 0
+        self.completion_cycles = []

@@ -1,0 +1,107 @@
+"""Streaming pooling kernels (paper §III-B2).
+
+"The pooling kernel is built similarly to the convolutional one.  Since the
+pooling has no parameters, output pixels are calculated as soon as enough
+data is accumulated inside the internal buffers.  In addition, since each
+output pixel depends only on its own feature map, we do not need to wait
+until input is finished, but can produce output at the same clock cycle at
+which the input is received."
+
+Concretely: with depth-first streaming, the K x K window of channel ``i``
+completes exactly when element ``(r, c, i)`` of the window's bottom-right
+pixel arrives — so the kernel can emit channel ``i``'s max in that same
+cycle, never stalling the input (output rate ≤ input rate because pooling
+is contractive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataflow.kernel import Kernel
+from ..dataflow.window import depth_first_buffer_elements
+from ..nn.graph import MaxPoolNode, TensorSpec
+
+__all__ = ["MaxPoolKernel"]
+
+
+class MaxPoolKernel(Kernel):
+    """Max pooling over a depth-first pixel stream, one in / up to one out per cycle."""
+
+    def __init__(self, name: str, node: MaxPoolNode, in_spec: TensorSpec) -> None:
+        super().__init__(name)
+        self.k = node.kernel_size
+        self.stride = node.stride
+        self.pad = node.pad
+        self.h = in_spec.height + 2 * node.pad
+        self.w = in_spec.width + 2 * node.pad
+        self.channels = in_spec.channels
+        self._grid = np.zeros((self.h, self.w, self.channels), dtype=np.int64)
+        self._pos = 0
+        self.images_done = 0
+
+    @property
+    def _total(self) -> int:
+        return self.h * self.w * self.channels
+
+    def hardware_buffer_elements(self) -> int:
+        return depth_first_buffer_elements(self.w, self.channels, self.k)
+
+    def expected_cycles_per_image(self) -> int:
+        """Pooling adds no stall cycles: per-image cost is the scan itself."""
+        return self._total
+
+    def _position(self) -> tuple[int, int, int]:
+        pixel, i = divmod(self._pos, self.channels)
+        r, c = divmod(pixel, self.w)
+        return r, c, i
+
+    def _emits_at(self, r: int, c: int) -> bool:
+        if r < self.k - 1 or c < self.k - 1:
+            return False
+        return (r - (self.k - 1)) % self.stride == 0 and (c - (self.k - 1)) % self.stride == 0
+
+    def _is_pad(self, r: int, c: int) -> bool:
+        p = self.pad
+        return p > 0 and (r < p or r >= self.h - p or c < p or c >= self.w - p)
+
+    def tick(self, cycle: int) -> None:
+        if self._pos >= self._total:
+            self._finish_image()
+        r, c, i = self._position()
+        inp = self.inputs[0]
+        out = self.outputs[0]
+        emits = self._emits_at(r, c)
+        if emits and not out.can_push():
+            # Must emit this cycle but there is no space: stall the input too
+            # (the value cannot be consumed without producing).
+            self._blocked(cycle)
+            return
+        if self._is_pad(r, c):
+            value = 0  # level 0: neutral under max for non-negative levels
+        else:
+            if not inp.can_pop(cycle):
+                self._starved(cycle)
+                return
+            value = inp.pop(cycle)
+            self.stats.elements_in += 1
+        self._grid[r, c, i] = value
+        self._pos += 1
+        self.stats.mark_active(cycle)
+        if emits:
+            window = self._grid[r - self.k + 1 : r + 1, c - self.k + 1 : c + 1, i]
+            out.push(int(window.max()), cycle)
+            self.stats.elements_out += 1
+        if self._pos >= self._total:
+            self._finish_image()
+
+    def _finish_image(self) -> None:
+        if self._pos >= self._total:
+            self.images_done += 1
+            self._pos = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._pos = 0
+        self._grid.fill(0)
+        self.images_done = 0

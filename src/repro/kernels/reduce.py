@@ -1,0 +1,67 @@
+"""Global average pooling as a streaming integer reduction.
+
+ResNet-18's final pooling (the only non-max pooling in the paper's
+networks) is exported as an exact integer *sum* per channel; the divisor is
+folded into the output affine.  The kernel consumes the whole feature map
+(one element per cycle) and then drains one channel sum per cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataflow.kernel import Kernel
+from ..nn.graph import TensorSpec
+
+__all__ = ["GlobalAvgSumKernel"]
+
+
+class GlobalAvgSumKernel(Kernel):
+    """Per-channel integer sum over the full spatial extent."""
+
+    def __init__(self, name: str, in_spec: TensorSpec) -> None:
+        super().__init__(name)
+        self.channels = in_spec.channels
+        self._per_image = in_spec.elements
+        self._sums = np.zeros(self.channels, dtype=np.int64)
+        self._count = 0
+        self._emit_chan: int | None = None
+        self.images_done = 0
+
+    def expected_cycles_per_image(self) -> int:
+        """Consume every element, then drain the C channel sums."""
+        return self._per_image + self.channels
+
+    def tick(self, cycle: int) -> None:
+        out = self.outputs[0]
+        if self._emit_chan is not None:
+            if out.push(int(self._sums[self._emit_chan]), cycle):
+                self.stats.elements_out += 1
+                self.stats.mark_active(cycle)
+                self._emit_chan += 1
+                if self._emit_chan >= self.channels:
+                    self._emit_chan = None
+                    self._sums.fill(0)
+                    self.images_done += 1
+            else:
+                self._blocked(cycle)
+            return
+        inp = self.inputs[0]
+        if not inp.can_pop(cycle):
+            self._starved(cycle)
+            return
+        value = inp.pop(cycle)
+        self.stats.elements_in += 1
+        self._sums[self._count % self.channels] += value
+        self._count += 1
+        self.stats.mark_active(cycle)
+        if self._count >= self._per_image:
+            self._count = 0
+            self._emit_chan = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._sums.fill(0)
+        self._count = 0
+        self._emit_chan = None
+        self.images_done = 0

@@ -1,0 +1,79 @@
+"""Standalone BatchNorm + activation threshold kernel (§III-B3).
+
+In the common case the threshold unit is fused into the convolution kernel
+(no extra cycles).  After a residual add, however, BatchNorm + activation
+run as their own streaming stage: one element in, one level out per clock,
+evaluated as the paper describes — a comparison cascade (binary search)
+over the ``2**n − 1`` pre-computed endpoints of the element's channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataflow.kernel import Kernel
+from ..nn.graph import TensorSpec, ThresholdNode
+
+__all__ = ["ThresholdKernel"]
+
+
+class ThresholdKernel(Kernel):
+    """Streaming fused BatchNorm + n-bit activation."""
+
+    def __init__(self, name: str, node: ThresholdNode, in_spec: TensorSpec) -> None:
+        super().__init__(name)
+        self.unit = node.unit
+        self.channels = in_spec.channels
+        if self.unit.channels != self.channels:
+            raise ValueError(f"{name}: threshold channels != stream channels")
+        # Pre-compute per-channel endpoint tables once (the normalization
+        # cache of the paper: two parameters per channel, expanded here).
+        ends = self.unit.endpoints()
+        self._endpoints: list[np.ndarray] = [np.asarray(ends[c]) for c in range(self.channels)]
+        self._signs = [int(s) for s in self.unit.slope_sign]
+        self._const = [int(v) for v in self.unit.const_level]
+        self._chan = 0
+        self.images_done = 0
+        self._count = 0
+        self._per_image = in_spec.elements
+
+    def expected_cycles_per_image(self) -> int:
+        return self._per_image
+
+    def _level(self, value: float, chan: int) -> int:
+        sign = self._signs[chan]
+        if sign == 0:
+            return self._const[chan]
+        ends = self._endpoints[chan]
+        # Binary search over the (monotone in alpha) endpoints.
+        if sign > 0:
+            return int(np.searchsorted(ends, value, side="right"))
+        rev = ends[::-1]
+        return len(ends) - int(np.searchsorted(rev, value, side="left"))
+
+    def tick(self, cycle: int) -> None:
+        inp = self.inputs[0]
+        out = self.outputs[0]
+        if not inp.can_pop(cycle):
+            self._starved(cycle)
+            return
+        if not out.can_push():
+            self._blocked(cycle)
+            return
+        value = inp.pop(cycle)
+        self.stats.elements_in += 1
+        level = self._level(float(value), self._chan)
+        out.push(level, cycle)
+        self.stats.elements_out += 1
+        self.stats.mark_active(cycle)
+        self._chan = (self._chan + 1) % self.channels
+        self._count += 1
+        if self._count >= self._per_image:
+            self._count = 0
+            self.images_done += 1
+
+    def reset(self) -> None:
+        super().reset()
+        self._chan = 0
+        self._count = 0
+        self.images_done = 0

@@ -1,0 +1,43 @@
+"""Model zoo: the three networks of the paper's evaluation."""
+
+from .alexnet import ALEXNET_CONV_PLAN, build_alexnet
+from .common import (
+    ACT_D,
+    INPUT_D,
+    activation_level0_value,
+    conv_bn_act,
+    fc_bn_act,
+    make_activation,
+    make_input_quantizer,
+    randomize_batchnorm,
+)
+from .direct import (
+    direct_alexnet_graph,
+    direct_resnet18_graph,
+    direct_vgg_graph,
+    random_threshold_unit,
+)
+from .resnet import RESNET18_STAGES, build_resnet, build_resnet18
+from .vgg import build_vgg_like, vgg_channel_plan
+
+__all__ = [
+    "ALEXNET_CONV_PLAN",
+    "build_alexnet",
+    "ACT_D",
+    "INPUT_D",
+    "activation_level0_value",
+    "conv_bn_act",
+    "fc_bn_act",
+    "make_activation",
+    "make_input_quantizer",
+    "randomize_batchnorm",
+    "direct_alexnet_graph",
+    "direct_resnet18_graph",
+    "direct_vgg_graph",
+    "random_threshold_unit",
+    "RESNET18_STAGES",
+    "build_resnet",
+    "build_resnet18",
+    "build_vgg_like",
+    "vgg_channel_plan",
+]

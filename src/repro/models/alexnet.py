@@ -1,0 +1,83 @@
+"""Full-sized quantized AlexNet (paper §III-A).
+
+Eight layers: five convolutions intermediated with max pooling, then three
+fully connected layers feeding the 1000-way softmax.  Quantized per Hubara
+et al. with 1-bit weights; the paper's headline accuracy claim is that
+2-bit activations lift AlexNet top-1 from 41.8% (binary) to 51.03%.
+
+Geometry at 224x224 (matching the paper's three-DFE implementation):
+conv1 11x11/4 -> 55, pool/2 -> 27, conv2 5x5 -> 27, pool -> 13,
+conv3/4/5 3x3 -> 13, pool -> 6, then FC 4096 -> 4096 -> 1000 as
+full-spatial convolutions (§III-B4).
+
+``width`` scales channels and FC features for laptop-sized instances; the
+topology (and therefore every architectural property the paper measures)
+is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import Flatten, MaxPool2d, QLinear, Sequential
+from .common import (
+    activation_level0_value,
+    conv_bn_act,
+    fc_bn_act,
+    make_input_quantizer,
+)
+
+__all__ = ["build_alexnet", "ALEXNET_CONV_PLAN"]
+
+# (out_channels, kernel, stride, pad, pool_after)
+ALEXNET_CONV_PLAN = [
+    (96, 11, 4, 2, True),
+    (256, 5, 1, 2, True),
+    (384, 3, 1, 1, False),
+    (384, 3, 1, 1, False),
+    (256, 3, 1, 1, True),
+]
+
+
+def build_alexnet(
+    input_size: int = 224,
+    in_channels: int = 3,
+    classes: int = 1000,
+    act_bits: int = 2,
+    input_bits: int = 2,
+    width: float = 1.0,
+    fc_features: int = 4096,
+    seed: int = 0,
+) -> Sequential:
+    """Construct the trainable quantized AlexNet.
+
+    ``input_size`` other than 224 is supported as long as the geometry
+    stays valid (used by scaled-down tests).
+    """
+    rng = np.random.default_rng(seed)
+    in_q = make_input_quantizer(input_bits)
+    layers: list = [in_q]
+    pad_value = activation_level0_value(in_q)
+    prev = in_channels
+    size = input_size
+    for li, (c_out, k, s, p, pool) in enumerate(ALEXNET_CONV_PLAN):
+        c = max(1, int(round(c_out * width)))
+        triple = conv_bn_act(prev, c, k, s, p, pad_value, act_bits, rng, name=f"conv{li + 1}")
+        layers.extend(triple)
+        pad_value = activation_level0_value(triple[-1])
+        prev = c
+        size = (size + 2 * p - k) // s + 1
+        if pool:
+            layers.append(MaxPool2d(3, 2))
+            size = (size - 3) // 2 + 1
+        if size < 1:
+            raise ValueError(f"input_size {input_size} collapses at conv{li + 1}")
+
+    fc = max(1, int(round(fc_features * width)))
+    layers.append(Flatten())
+    layers.extend(fc_bn_act(size * size * prev, fc, act_bits, rng, name="fc6"))
+    layers.extend(fc_bn_act(fc, fc, act_bits, rng, name="fc7"))
+    layers.append(QLinear(fc, classes, rng=rng, name="fc8"))
+    model = Sequential(*layers)
+    model.name = f"alexnet-{input_size}" + ("-bnn" if act_bits == 1 else "")
+    return model

@@ -1,0 +1,110 @@
+"""Shared model-construction helpers and quantization conventions.
+
+All models in the zoo use the paper's configuration: 1-bit weights, n-bit
+uniform activations (n = 2 by default, n = 1 sign for the FINN-style
+comparison).  Quantizer ranges are chosen dyadic so that the float training
+path and the integer IR agree exactly in float64:
+
+* input quantizer: ``lo = 0, d = 0.25`` (2-bit) — images in [0, 1);
+* activation quantizer: ``lo = 0, d = 0.5`` (2-bit) — post-BatchNorm range.
+
+Padding values are always the level-0 dequantized value of the incoming
+stream, matching the hardware's level-0 injection (and the paper's −1
+padding in the binary case, where level 0 *is* −1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import (
+    BatchNorm2d,
+    Module,
+    QActivation,
+    QConv2d,
+    QLinear,
+    SignActivation,
+)
+
+__all__ = [
+    "ACT_D",
+    "INPUT_D",
+    "make_input_quantizer",
+    "make_activation",
+    "activation_level0_value",
+    "conv_bn_act",
+    "fc_bn_act",
+    "randomize_batchnorm",
+]
+
+ACT_D = 0.5
+INPUT_D = 0.25
+
+
+def make_input_quantizer(bits: int = 2) -> QActivation:
+    """Host-side quantizer producing the input pixel level stream."""
+    # Images are in [0, 1); cover that range with 2**bits levels.
+    return QActivation(bits=bits, lo=0.0, d=1.0 / (1 << bits))
+
+
+def make_activation(act_bits: int) -> Module:
+    """The inter-layer activation: n-bit uniform, or sign for act_bits=1."""
+    if act_bits == 1:
+        return SignActivation()
+    return QActivation(bits=act_bits, d=ACT_D)
+
+
+def activation_level0_value(act: Module) -> float:
+    """Dequantized value of level 0 — the padding value for the next conv."""
+    if isinstance(act, SignActivation):
+        return -1.0
+    if isinstance(act, QActivation):
+        q = act.quantizer
+        return q.lo + (0.5 if q.midpoint else 0.0) * q.d
+    raise TypeError(f"unsupported activation {type(act).__name__}")
+
+
+def conv_bn_act(
+    in_ch: int,
+    out_ch: int,
+    k: int,
+    stride: int,
+    pad: int,
+    pad_value: float,
+    act_bits: int,
+    rng: np.random.Generator,
+    name: str,
+) -> list[Module]:
+    """A convolution + BatchNorm + activation triple (one streaming kernel)."""
+    return [
+        QConv2d(in_ch, out_ch, k, stride=stride, pad=pad, pad_value=pad_value, rng=rng, name=name),
+        BatchNorm2d(out_ch, name=f"{name}.bn"),
+        make_activation(act_bits),
+    ]
+
+
+def fc_bn_act(
+    in_features: int, out_features: int, act_bits: int, rng: np.random.Generator, name: str
+) -> list[Module]:
+    """A fully connected + BatchNorm + activation triple."""
+    return [
+        QLinear(in_features, out_features, rng=rng, name=name),
+        BatchNorm2d(out_features, name=f"{name}.bn"),
+        make_activation(act_bits),
+    ]
+
+
+def randomize_batchnorm(model: Module, rng: np.random.Generator, spread: float = 1.0) -> None:
+    """Give BatchNorm layers non-trivial statistics.
+
+    Untrained models have degenerate (identity) BatchNorm, which makes all
+    thresholds identical and inference paths uninteresting; simulation and
+    property tests call this to exercise threshold folding with realistic
+    parameter diversity, including negative γ.
+    """
+    for m in model.modules():
+        if isinstance(m, BatchNorm2d):
+            m.running_mean = rng.normal(0.0, 2.0 * spread, m.channels)
+            m.running_var = rng.uniform(0.5, 3.0, m.channels)
+            m.gamma.data = rng.normal(1.0, 0.5 * spread, m.channels)
+            m.beta.data = rng.normal(0.0, spread, m.channels)

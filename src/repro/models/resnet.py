@@ -1,0 +1,104 @@
+"""Quantized ResNet-18 per the paper's Table I.
+
+| layer    | output size | parameters                        |
+|----------|-------------|-----------------------------------|
+| conv1    | 112x112     | 7x7, 64, stride 2                 |
+| conv2_x  | 56x56       | 3x3 max pool /2; [3x3,64]x2 x2    |
+| conv3_x  | 28x28       | [3x3,128]x2 x2 (first stride 2)   |
+| conv4_x  | 14x14       | [3x3,256]x2 x2 (first stride 2)   |
+| conv5_x  | 7x7         | [3x3,512]x2 x2 (first stride 2)   |
+|          | 1x1         | average pool, 1000-d fc, softmax  |
+
+Skip connections follow §III-B5: the skip path carries the non-quantized
+convolution accumulators (16-bit integers); BatchNorm + activation are
+applied to a copy after each residual add.  Downsampling blocks use a 1x1
+stride-2 binary projection on the skip path.
+
+``width`` and ``blocks_per_stage`` scale the network for tests (a "ResNet"
+with the same block structure but laptop-sized layers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import GlobalAvgPool, MaxPool2d, QLinear, QResidualBlock, Sequential
+from .common import ACT_D, activation_level0_value, conv_bn_act, make_input_quantizer
+
+__all__ = ["build_resnet18", "build_resnet", "RESNET18_STAGES"]
+
+# (out_channels, blocks, first_stride) per stage — Table I.
+RESNET18_STAGES = [(64, 2, 1), (128, 2, 2), (256, 2, 2), (512, 2, 2)]
+
+
+def build_resnet(
+    input_size: int = 224,
+    in_channels: int = 3,
+    classes: int = 1000,
+    act_bits: int = 2,
+    input_bits: int = 2,
+    width: float = 1.0,
+    stages: list[tuple[int, int, int]] | None = None,
+    stem_kernel: int = 7,
+    stem_stride: int = 2,
+    stem_pool: bool = True,
+    seed: int = 0,
+) -> Sequential:
+    """Construct a trainable quantized residual network.
+
+    With default arguments this is ResNet-18 exactly as in Table I; the
+    knobs produce smaller residual networks with identical block structure
+    for tests and examples.
+    """
+    if act_bits == 1:
+        raise ValueError(
+            "residual blocks carry non-quantized sums on the skip path; the "
+            "paper's ResNet uses 2-bit activations"
+        )
+    rng = np.random.default_rng(seed)
+    stages = RESNET18_STAGES if stages is None else stages
+    in_q = make_input_quantizer(input_bits)
+    layers: list = [in_q]
+    pad_value = activation_level0_value(in_q)
+
+    stem_out = max(1, int(round(stages[0][0] * width)))
+    stem_pad = stem_kernel // 2
+    triple = conv_bn_act(
+        in_channels, stem_out, stem_kernel, stem_stride, stem_pad, pad_value, act_bits, rng, "conv1"
+    )
+    layers.extend(triple)
+    act_pad_value = activation_level0_value(triple[-1])
+    if stem_pool:
+        # Table I: 3x3 max pool, stride 2 (pad 1 keeps the 56x56 output size).
+        layers.append(MaxPool2d(3, 2, pad=1, pad_value=act_pad_value))
+
+    prev = stem_out
+    for si, (c_out, blocks, first_stride) in enumerate(stages):
+        c = max(1, int(round(c_out * width)))
+        for bi in range(blocks):
+            stride = first_stride if bi == 0 else 1
+            block = QResidualBlock(
+                prev, c, stride=stride, bits=act_bits, act_d=ACT_D, rng=rng,
+                name=f"conv{si + 2}_{bi + 1}",
+            )
+            # Block convolutions pad with the level-0 value of the 2-bit
+            # activation stream feeding them.
+            block.conv1.pad_value = act_pad_value
+            block.conv2.pad_value = act_pad_value
+            layers.append(block)
+            prev = c
+
+    layers.append(GlobalAvgPool())
+    layers.append(QLinear(prev, classes, rng=rng, name="fc"))
+    model = Sequential(*layers)
+    model.name = f"resnet-{input_size}"
+    return model
+
+
+def build_resnet18(
+    input_size: int = 224, classes: int = 1000, act_bits: int = 2, seed: int = 0
+) -> Sequential:
+    """The paper's full ResNet-18 (Table I)."""
+    model = build_resnet(input_size=input_size, classes=classes, act_bits=act_bits, seed=seed)
+    model.name = f"resnet18-{input_size}"
+    return model

@@ -1,0 +1,95 @@
+"""The VGG-like CNN of the paper's small-input evaluations.
+
+"The VGG-like CNN consisted of three blocks of two convolutions and one
+pooling layer, and three FC layers at the end" — the topology Umuroglu et
+al. (FINN) proposed, which the paper reuses for CIFAR-10 (32x32), STL-10
+(96x96 / resized 144x144) and its input-size scalability sweep (Figure 6).
+
+Convolutions are 3x3, padded, with channel plan (64, 128, 256) doubled
+within each block's pair; FC layers are 512 -> 512 -> classes.  A ``width``
+multiplier scales every channel count for laptop-sized tests while keeping
+the exact topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.modules import Flatten, MaxPool2d, QLinear, Sequential
+from .common import (
+    activation_level0_value,
+    conv_bn_act,
+    fc_bn_act,
+    make_input_quantizer,
+)
+
+__all__ = ["build_vgg_like", "vgg_channel_plan"]
+
+
+def vgg_channel_plan(width: float = 1.0) -> list[int]:
+    """Per-block output channels of the VGG-like network, scaled by ``width``."""
+    return [max(1, int(round(c * width))) for c in (64, 128, 256)]
+
+
+def build_vgg_like(
+    input_size: int = 32,
+    in_channels: int = 3,
+    classes: int = 10,
+    act_bits: int = 2,
+    input_bits: int = 2,
+    width: float = 1.0,
+    fc_features: int = 512,
+    pool_to: int | None = None,
+    seed: int = 0,
+) -> Sequential:
+    """Construct the (trainable) VGG-like QNN.
+
+    Parameters
+    ----------
+    input_size:
+        Square input resolution; must be divisible by 8 (three 2x2 pools).
+    act_bits:
+        Activation bit width: 2 for the paper's configuration, 1 for the
+        FINN-style binary-activation variant of Table IV.
+    width:
+        Channel multiplier (1.0 = paper size; small fractions for tests).
+    pool_to:
+        If set, pool the final conv feature map down to ``pool_to x
+        pool_to`` before the FC stage so the FC geometry is independent of
+        input size.  This is required to reproduce Figure 6's ≈5% resource
+        growth: with FC consuming the full feature map, resources would
+        grow quadratically with input size.
+    """
+    if input_size % 8 != 0:
+        raise ValueError(f"input_size must be divisible by 8, got {input_size}")
+    rng = np.random.default_rng(seed)
+    chans = vgg_channel_plan(width)
+    fc = max(1, int(round(fc_features * width)))
+
+    in_q = make_input_quantizer(input_bits)
+    layers: list = [in_q]
+    pad_value = activation_level0_value(in_q)
+    prev = in_channels
+    for bi, c in enumerate(chans):
+        for ci in range(2):
+            triple = conv_bn_act(
+                prev, c, 3, 1, 1, pad_value, act_bits, rng, name=f"conv{bi + 1}_{ci + 1}"
+            )
+            layers.extend(triple)
+            pad_value = activation_level0_value(triple[-1])
+            prev = c
+        layers.append(MaxPool2d(2))
+    feat = input_size // 8
+    if pool_to is not None and feat > pool_to:
+        stride = feat // pool_to
+        k = feat - (pool_to - 1) * stride
+        layers.append(MaxPool2d(k, stride))
+        feat = pool_to
+
+    layers.append(Flatten())
+    layers.extend(fc_bn_act(feat * feat * prev, fc, act_bits, rng, name="fc1"))
+    layers.extend(fc_bn_act(fc, fc, act_bits, rng, name="fc2"))
+    layers.append(QLinear(fc, classes, rng=rng, name="fc3"))
+    model = Sequential(*layers)
+    model.name = f"vgg-like-{input_size}" + ("-bnn" if act_bits == 1 else "")
+    return model

@@ -1,0 +1,75 @@
+"""NN substrate: reference ops, QAT training path, and the integer inference IR."""
+
+from . import autograd, functional
+from .autograd import Tensor
+from .export import ExportError, export_model, input_to_levels
+from .graph import (
+    AddNode,
+    Affine,
+    ConvNode,
+    GlobalAvgSumNode,
+    InputNode,
+    LayerGraph,
+    MaxPoolNode,
+    Node,
+    TensorSpec,
+    ThresholdNode,
+)
+from .inference import InferenceResult, classify, run_graph
+from .modules import (
+    BatchNorm2d,
+    Flatten,
+    GlobalAvgPool,
+    MaxPool2d,
+    Module,
+    Parameter,
+    QActivation,
+    QConv2d,
+    QLinear,
+    QResidualBlock,
+    Sequential,
+    SignActivation,
+)
+from .training import SGD, Adam, TrainResult, evaluate, train
+from .verify import BackendReport, verify_backends
+
+__all__ = [
+    "autograd",
+    "functional",
+    "Tensor",
+    "ExportError",
+    "export_model",
+    "input_to_levels",
+    "AddNode",
+    "Affine",
+    "ConvNode",
+    "GlobalAvgSumNode",
+    "InputNode",
+    "LayerGraph",
+    "MaxPoolNode",
+    "Node",
+    "TensorSpec",
+    "ThresholdNode",
+    "InferenceResult",
+    "classify",
+    "run_graph",
+    "BatchNorm2d",
+    "Flatten",
+    "GlobalAvgPool",
+    "MaxPool2d",
+    "Module",
+    "Parameter",
+    "QActivation",
+    "QConv2d",
+    "QLinear",
+    "QResidualBlock",
+    "Sequential",
+    "SignActivation",
+    "SGD",
+    "Adam",
+    "TrainResult",
+    "evaluate",
+    "train",
+    "BackendReport",
+    "verify_backends",
+]

@@ -1,0 +1,171 @@
+"""Reference NumPy implementations of the NN operators (NHWC layout).
+
+These are the ground-truth semantics against which both the bit-packed
+integer path and the cycle-driven streaming kernels are verified.  The
+layout is **NHWC / HWC with channels innermost**, deliberately matching the
+paper's depth-first streaming order (§III-B1b): a stream position advances
+channel-first, then width, then height.
+
+All convolutions use *valid* correlation after explicit padding, matching
+the hardware kernel which stalls the input stream to inject padding values
+(the paper pads with −1 because zero does not exist in the binary alphabet).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = [
+    "pad2d",
+    "im2col",
+    "conv2d",
+    "conv_output_size",
+    "maxpool2d",
+    "avgpool2d",
+    "global_avgpool",
+    "linear",
+    "softmax",
+    "log_softmax",
+]
+
+
+def conv_output_size(size: int, k: int, stride: int, pad: int) -> int:
+    """Spatial output size of a K-tap, stride-S convolution with symmetric padding."""
+    out = (size + 2 * pad - k) // stride + 1
+    if out < 1:
+        raise ValueError(
+            f"convolution produces empty output (size={size}, k={k}, stride={stride}, pad={pad})"
+        )
+    return out
+
+
+def _ensure_nhwc(x: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Promote HWC to NHWC; return (array, was_batched)."""
+    x = np.asarray(x)
+    if x.ndim == 3:
+        return x[None], False
+    if x.ndim == 4:
+        return x, True
+    raise ValueError(f"expected HWC or NHWC input, got shape {x.shape}")
+
+
+def pad2d(x: np.ndarray, pad: int, value: float = 0.0) -> np.ndarray:
+    """Pad the two spatial axes of an (N)HWC tensor with a constant value."""
+    if pad < 0:
+        raise ValueError(f"pad must be non-negative, got {pad}")
+    if pad == 0:
+        return np.asarray(x)
+    xb, batched = _ensure_nhwc(x)
+    out = np.pad(
+        xb,
+        ((0, 0), (pad, pad), (pad, pad), (0, 0)),
+        mode="constant",
+        constant_values=value,
+    )
+    return out if batched else out[0]
+
+
+def im2col(x: np.ndarray, k: int, stride: int = 1) -> np.ndarray:
+    """Extract K x K sliding patches from an (N)HWC tensor.
+
+    Returns shape ``(N, Ho, Wo, K*K*C)`` (or without N for HWC input), with
+    the patch flattened in **(row, col, channel)** order — the same order the
+    streaming window buffer presents bits to the popcount tree, so packed
+    weights can be shared verbatim between the functional and streaming
+    paths.
+    """
+    xb, batched = _ensure_nhwc(x)
+    windows = sliding_window_view(xb, (k, k), axis=(1, 2))
+    # windows: (N, Ho_full, Wo_full, C, k, k) -> reorder to (.., k, k, C)
+    windows = windows[:, ::stride, ::stride]
+    windows = np.moveaxis(windows, 3, 5)
+    n, ho, wo = windows.shape[:3]
+    cols = windows.reshape(n, ho, wo, -1)
+    return cols if batched else cols[0]
+
+
+def conv2d(
+    x: np.ndarray,
+    w: np.ndarray,
+    stride: int = 1,
+    pad: int = 0,
+    pad_value: float = 0.0,
+    bias: np.ndarray | None = None,
+) -> np.ndarray:
+    """2-D convolution (cross-correlation) of an (N)HWC tensor.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, H, W, I)`` or ``(H, W, I)``.
+    w:
+        Filters of shape ``(K, K, I, O)``.
+    stride, pad, pad_value:
+        Spatial stride and constant padding (the paper uses −1 padding for
+        binary feature maps).
+    bias:
+        Optional per-output-channel bias of shape ``(O,)``.
+    """
+    xb, batched = _ensure_nhwc(x)
+    w = np.asarray(w)
+    if w.ndim != 4 or w.shape[0] != w.shape[1]:
+        raise ValueError(f"expected square (K, K, I, O) filters, got shape {w.shape}")
+    k, _, ci, co = w.shape
+    if xb.shape[-1] != ci:
+        raise ValueError(f"input has {xb.shape[-1]} channels, filters expect {ci}")
+    xp = pad2d(xb, pad, pad_value)
+    cols = im2col(xp, k, stride)  # (N, Ho, Wo, K*K*I)
+    wmat = w.reshape(-1, co)  # (K*K*I, O), same (row, col, channel) order
+    out = cols @ wmat
+    if bias is not None:
+        out = out + np.asarray(bias)
+    return out if batched else out[0]
+
+
+def maxpool2d(x: np.ndarray, k: int, stride: int | None = None) -> np.ndarray:
+    """Max pooling over non-overlapping (or strided) K x K windows, (N)HWC."""
+    stride = k if stride is None else stride
+    xb, batched = _ensure_nhwc(x)
+    windows = sliding_window_view(xb, (k, k), axis=(1, 2))[:, ::stride, ::stride]
+    out = windows.max(axis=(-2, -1))
+    return out if batched else out[0]
+
+
+def avgpool2d(x: np.ndarray, k: int, stride: int | None = None) -> np.ndarray:
+    """Average pooling over K x K windows, (N)HWC; returns float64."""
+    stride = k if stride is None else stride
+    xb, batched = _ensure_nhwc(x)
+    windows = sliding_window_view(xb, (k, k), axis=(1, 2))[:, ::stride, ::stride]
+    out = windows.mean(axis=(-2, -1), dtype=np.float64)
+    return out if batched else out[0]
+
+
+def global_avgpool(x: np.ndarray) -> np.ndarray:
+    """Global average over the spatial axes of an (N)HWC tensor."""
+    xb, batched = _ensure_nhwc(x)
+    out = xb.mean(axis=(1, 2), dtype=np.float64)
+    return out if batched else out[0]
+
+
+def linear(x: np.ndarray, w: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Fully connected layer ``x @ w`` with ``w`` of shape ``(in, out)``."""
+    out = np.asarray(x) @ np.asarray(w)
+    if bias is not None:
+        out = out + np.asarray(bias)
+    return out
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = np.asarray(logits, dtype=np.float64)
+    z = z - z.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    z = np.asarray(logits, dtype=np.float64)
+    z = z - z.max(axis=axis, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=axis, keepdims=True))

@@ -1,0 +1,324 @@
+"""Trainable quantized NN modules (QAT path).
+
+These modules mirror Hubara et al.'s QNN training recipe used by the paper:
+full-precision shadow weights binarized with Sign (STE) on the forward pass,
+BatchNorm, and an n-bit uniform activation (STE).  After training, a model
+is *exported* (see :mod:`repro.nn.export`) into the integer inference IR
+that both the functional integer executor and the streaming dataflow
+simulator consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..quantization.quantizers import UniformQuantizer
+from . import autograd as ag
+from .autograd import Tensor
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "QConv2d",
+    "BatchNorm2d",
+    "QActivation",
+    "SignActivation",
+    "MaxPool2d",
+    "GlobalAvgPool",
+    "Flatten",
+    "QLinear",
+    "Sequential",
+    "QResidualBlock",
+]
+
+
+class Parameter(Tensor):
+    """A trainable tensor."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class: parameter discovery, train/eval mode, call syntax."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+    def parameters(self) -> Iterator[Parameter]:
+        for value in vars(self).values():
+            if isinstance(value, Parameter):
+                yield value
+            elif isinstance(value, Module):
+                yield from value.parameters()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.parameters()
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            m.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+
+def _kaiming(rng: np.random.Generator, shape: tuple[int, ...], fan_in: int) -> np.ndarray:
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+class QConv2d(Module):
+    """Convolution with 1-bit (Sign + STE) weights.
+
+    ``binary=False`` keeps full-precision weights — used for the
+    first-layer ablation and for the floating-point baselines.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        pad: int = 0,
+        pad_value: float = -1.0,
+        binary: bool = True,
+        rng: np.random.Generator | None = None,
+        name: str = "conv",
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        fan_in = kernel_size * kernel_size * in_channels
+        self.weight = Parameter(
+            _kaiming(rng, (kernel_size, kernel_size, in_channels, out_channels), fan_in),
+            name=f"{name}.weight",
+        )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.pad = pad
+        self.pad_value = pad_value
+        self.binary = binary
+        self.name = name
+
+    def effective_weight(self) -> Tensor:
+        return ag.sign_ste(self.weight) if self.binary else self.weight
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.conv2d(
+            x, self.effective_weight(), stride=self.stride, pad=self.pad, pad_value=self.pad_value
+        )
+
+
+class BatchNorm2d(Module):
+    """BatchNorm over the channel (last) axis of NHWC tensors."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5, name: str = "bn") -> None:
+        super().__init__()
+        self.gamma = Parameter(np.ones(channels), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(channels), name=f"{name}.beta")
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.momentum = momentum
+        self.eps = eps
+        self.channels = channels
+        self.name = name
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.batchnorm(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+
+class QActivation(Module):
+    """n-bit uniform activation with clipped STE (the paper uses n = 2)."""
+
+    def __init__(self, bits: int = 2, lo: float = 0.0, d: float = 0.5) -> None:
+        super().__init__()
+        self.quantizer = UniformQuantizer(bits=bits, lo=lo, d=d)
+        self.bits = bits
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.uniform_quant_ste(x, self.quantizer)
+
+
+class SignActivation(Module):
+    """1-bit sign activation (±1) with hard-tanh STE — the BNN/FINN case.
+
+    The paper's comparison network (Umuroglu et al.) uses binary activations;
+    we keep them available to reproduce the accuracy gap between 1-bit and
+    2-bit activations (Table IVa and the AlexNet 41.8% → 51.03% claim).
+    """
+
+    def __init__(self, clip: float = 1.0) -> None:
+        super().__init__()
+        self.clip = clip
+        self.bits = 1
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.sign_ste(x, clip=self.clip)
+
+
+class MaxPool2d(Module):
+    """Max pooling.  Padding (when used) must inject the *minimum* float
+    value of the incoming quantized stream (the level-0 value) so that the
+    padded entries never win the max — mirroring the hardware's level-0
+    injection, which is neutral because levels are non-negative."""
+
+    def __init__(
+        self,
+        kernel_size: int,
+        stride: int | None = None,
+        pad: int = 0,
+        pad_value: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = kernel_size if stride is None else stride
+        self.pad = pad
+        self.pad_value = pad_value
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.maxpool2d(x, self.kernel_size, self.stride, self.pad, self.pad_value)
+
+
+class GlobalAvgPool(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.global_avgpool(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        n = x.data.shape[0]
+        return ag.reshape(x, (n, -1))
+
+
+class QLinear(Module):
+    """Fully connected layer with 1-bit (Sign + STE) weights."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        binary: bool = True,
+        rng: np.random.Generator | None = None,
+        name: str = "fc",
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(
+            _kaiming(rng, (in_features, out_features), in_features), name=f"{name}.weight"
+        )
+        self.in_features = in_features
+        self.out_features = out_features
+        self.binary = binary
+        self.name = name
+
+    def effective_weight(self) -> Tensor:
+        return ag.sign_ste(self.weight) if self.binary else self.weight
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ag.matmul(x, self.effective_weight())
+
+
+class Sequential(Module):
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+
+class QResidualBlock(Module):
+    """A quantized residual block matching the paper's Figure 2 semantics.
+
+    The running skip value is the *non-quantized* convolution accumulation
+    (16-bit integers in hardware); BatchNorm + activation are applied to a
+    copy before the next convolution.  Structure for one block::
+
+        s_out = conv2(act(bn1(conv1(x) + s_in_or_0)))-ish
+
+    Concretely, following §III-B5: input arrives as (x_levels, skip); conv1
+    output is summed with the skip input, the sum continues as the new skip
+    stream, and bn+act of the sum feeds conv2.  A block here bundles the two
+    convolutions of a ResNet basic block.  ``downsample`` inserts a stride-2
+    1x1 binary projection on the skip path when shapes change.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        bits: int = 2,
+        act_d: float = 0.5,
+        rng: np.random.Generator | None = None,
+        name: str = "block",
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = QConv2d(
+            in_channels, out_channels, 3, stride=stride, pad=1, rng=rng, name=f"{name}.conv1"
+        )
+        self.bn1 = BatchNorm2d(out_channels, name=f"{name}.bn1")
+        self.act1 = QActivation(bits=bits, d=act_d)
+        self.conv2 = QConv2d(out_channels, out_channels, 3, stride=1, pad=1, rng=rng, name=f"{name}.conv2")
+        self.bn2 = BatchNorm2d(out_channels, name=f"{name}.bn2")
+        self.act2 = QActivation(bits=bits, d=act_d)
+        self.downsample: QConv2d | None = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = QConv2d(
+                in_channels, out_channels, 1, stride=stride, pad=0, rng=rng, name=f"{name}.proj"
+            )
+        self.name = name
+
+    def forward(self, x: Tensor) -> Tensor:
+        identity = self.downsample(x) if self.downsample is not None else x
+        out = self.conv1(x)
+        out = ag.add(out, identity)
+        skip = out
+        out = self.act1(self.bn1(out))
+        out = self.conv2(out)
+        out = ag.add(out, skip)
+        return self.act2(self.bn2(out))

@@ -1,0 +1,174 @@
+"""Optimizers, losses and the quantization-aware training loop.
+
+The paper trains its QNNs on GPUs with Hubara et al.'s recipe and then loads
+frozen parameters onto the DFEs.  Here the same recipe runs in NumPy: Adam
+over the full-precision shadow weights, Sign/uniform-quantizer STE in the
+forward pass, cross-entropy loss.  Scale is laptop-sized (the substitution
+is recorded in DESIGN.md): the point is to produce *real trained weights*
+whose accuracy ordering (2-bit activations > 1-bit activations > chance)
+reproduces the paper's accuracy claims on synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import autograd as ag
+from .autograd import Tensor
+from .modules import Module, Parameter
+
+__all__ = ["SGD", "Adam", "TrainResult", "train", "evaluate", "iterate_minibatches"]
+
+
+class SGD:
+    """Plain SGD with optional momentum and weight clipping.
+
+    BinaryConnect-style training clips shadow weights to [-1, 1] after each
+    update so the Sign STE stays in its active region.
+    """
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        clip: float | None = 1.0,
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.clip = clip
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.data += v
+            if self.clip is not None and p.name.endswith(".weight"):
+                np.clip(p.data, -self.clip, self.clip, out=p.data)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam optimizer with BinaryConnect weight clipping."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        clip: float | None = 1.0,
+    ) -> None:
+        self.params = list(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.clip = clip
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1t = 1 - self.beta1**self._t
+        b2t = 1 - self.beta2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1 - self.beta2) * p.grad**2
+            p.data -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+            if self.clip is not None and p.name.endswith(".weight"):
+                np.clip(p.data, -self.clip, self.clip, out=p.data)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+def iterate_minibatches(
+    x: np.ndarray, y: np.ndarray, batch_size: int, rng: np.random.Generator
+):
+    """Yield shuffled (x, y) minibatches."""
+    idx = rng.permutation(len(x))
+    for start in range(0, len(x), batch_size):
+        sel = idx[start : start + batch_size]
+        yield x[sel], y[sel]
+
+
+@dataclass
+class TrainResult:
+    """Per-epoch training history."""
+
+    losses: list[float] = field(default_factory=list)
+    train_accuracies: list[float] = field(default_factory=list)
+    val_accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.val_accuracies[-1] if self.val_accuracies else float("nan")
+
+
+def evaluate(model: Module, x: np.ndarray, y: np.ndarray, batch_size: int = 256) -> float:
+    """Top-1 accuracy of ``model`` on (x, y)."""
+    model.eval()
+    correct = 0
+    for start in range(0, len(x), batch_size):
+        xb = x[start : start + batch_size]
+        yb = y[start : start + batch_size]
+        logits = model(Tensor(xb)).data
+        correct += int((logits.argmax(axis=-1) == yb).sum())
+    return correct / len(x)
+
+
+def train(
+    model: Module,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_val: np.ndarray | None = None,
+    y_val: np.ndarray | None = None,
+    epochs: int = 5,
+    batch_size: int = 64,
+    lr: float = 1e-3,
+    optimizer: str = "adam",
+    seed: int = 0,
+    verbose: bool = False,
+) -> TrainResult:
+    """Quantization-aware training loop (forward quantized, STE backward)."""
+    rng = np.random.default_rng(seed)
+    params = list(model.parameters())
+    opt = Adam(params, lr=lr) if optimizer == "adam" else SGD(params, lr=lr, momentum=0.9)
+    result = TrainResult()
+    for epoch in range(epochs):
+        model.train()
+        epoch_losses = []
+        correct = 0
+        for xb, yb in iterate_minibatches(x_train, y_train, batch_size, rng):
+            opt.zero_grad()
+            logits = model(Tensor(xb))
+            loss = ag.cross_entropy(logits, yb)
+            loss.backward()
+            opt.step()
+            epoch_losses.append(float(loss.data))
+            correct += int((logits.data.argmax(axis=-1) == yb).sum())
+        result.losses.append(float(np.mean(epoch_losses)))
+        result.train_accuracies.append(correct / len(x_train))
+        if x_val is not None and y_val is not None:
+            result.val_accuracies.append(evaluate(model, x_val, y_val))
+        if verbose:  # pragma: no cover - console output
+            msg = f"epoch {epoch + 1}/{epochs} loss={result.losses[-1]:.4f} train_acc={result.train_accuracies[-1]:.3f}"
+            if result.val_accuracies:
+                msg += f" val_acc={result.val_accuracies[-1]:.3f}"
+            print(msg)
+    return result

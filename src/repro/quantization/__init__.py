@@ -1,0 +1,55 @@
+"""Quantization substrate: bit-packed arithmetic, quantizers, threshold folding.
+
+The three pillars of the paper's arithmetic:
+
+* :mod:`repro.quantization.bitops` — XNOR-popcount and bit-plane
+  AND-popcount replacements for multiply-accumulate;
+* :mod:`repro.quantization.quantizers` — 1-bit sign weights and n-bit
+  uniform activations;
+* :mod:`repro.quantization.thresholds` — BatchNorm + activation fused into
+  two per-channel parameters evaluated by binary search (§III-B3).
+"""
+
+from .bitops import (
+    WORD_BITS,
+    BitPackedMatrix,
+    BitplaneTensor,
+    bitplane_dot,
+    bitplane_gemm,
+    masked_popcount_dot,
+    pack_bitplanes,
+    pack_bits,
+    pack_signs,
+    packed_words,
+    popcount,
+    unpack_bits,
+    unpack_signs,
+    xnor_popcount_dot,
+    xnor_popcount_gemm,
+)
+from .quantizers import SignQuantizer, UniformQuantizer
+from .thresholds import BatchNormParams, ThresholdUnit, fold_batchnorm, fold_batchnorm_sign
+
+__all__ = [
+    "WORD_BITS",
+    "BitPackedMatrix",
+    "BitplaneTensor",
+    "bitplane_dot",
+    "bitplane_gemm",
+    "masked_popcount_dot",
+    "pack_bitplanes",
+    "pack_bits",
+    "pack_signs",
+    "packed_words",
+    "popcount",
+    "unpack_bits",
+    "unpack_signs",
+    "xnor_popcount_dot",
+    "xnor_popcount_gemm",
+    "SignQuantizer",
+    "UniformQuantizer",
+    "BatchNormParams",
+    "ThresholdUnit",
+    "fold_batchnorm",
+    "fold_batchnorm_sign",
+]

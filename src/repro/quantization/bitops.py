@@ -1,0 +1,305 @@
+"""Bit-packed arithmetic primitives for quantized neural networks.
+
+This module implements the arithmetic substrate of the paper's convolution
+kernel (Section III-B1): binary {-1, +1} weights are packed into ``uint64``
+words and multiplied against activations with the **XNOR-popcount** algorithm
+instead of element-wise multiply-accumulate.
+
+Two regimes are supported:
+
+* **binary x binary** — both operands live in {-1, +1}.  For sign vectors
+  ``a`` and ``b`` encoded as bits (``+1 -> 1``, ``-1 -> 0``),
+
+  ``dot(a, b) = n - 2 * popcount(a_bits XOR b_bits)``
+
+  which is the classic XNOR-popcount identity (``popcount(XNOR) = n -
+  popcount(XOR)``).  Using the XOR form makes zero-padded tail bits (both
+  zero) contribute nothing, so packed vectors whose length is not a multiple
+  of 64 need no masking.
+
+* **binary weights x n-bit unsigned activations** — the paper's actual
+  configuration (1-bit weights, 2-bit activations).  An n-bit activation
+  vector ``x`` decomposes into bit-planes ``x = sum_b 2**b * p_b`` with
+  ``p_b in {0, 1}``, and for a sign vector ``w``
+
+  ``dot(w, p) = 2 * popcount(w_bits AND p_bits) - popcount(p_bits)``
+
+  (positions where ``p = 1`` contribute ``+1`` when ``w = +1`` and ``-1``
+  when ``w = -1``).  Summing planes weighted by ``2**b`` yields the exact
+  integer dot product.
+
+All functions are vectorised over leading axes; packing always happens along
+the **last** axis.  Popcounts use :func:`numpy.bitwise_count`, which lowers
+to hardware ``popcnt`` — mirroring the LUT-based popcount adder trees the
+FPGA design instantiates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "WORD_BITS",
+    "packed_words",
+    "pack_bits",
+    "unpack_bits",
+    "pack_signs",
+    "unpack_signs",
+    "pack_bitplanes",
+    "popcount",
+    "xnor_popcount_dot",
+    "xnor_popcount_gemm",
+    "masked_popcount_dot",
+    "bitplane_dot",
+    "bitplane_gemm",
+    "BitPackedMatrix",
+    "BitplaneTensor",
+]
+
+WORD_BITS = 64
+_WORD_DTYPE = np.uint64
+
+
+def packed_words(n: int) -> int:
+    """Number of 64-bit words needed to hold ``n`` bits."""
+    if n < 0:
+        raise ValueError(f"bit length must be non-negative, got {n}")
+    return (n + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a {0, 1} array into ``uint64`` words along the last axis.
+
+    Bit ``i`` of the logical vector is stored at word ``i // 64``,
+    bit position ``i % 64`` (LSB-first).  Tail bits are zero.
+
+    Parameters
+    ----------
+    bits:
+        Integer or boolean array with values in {0, 1}; shape ``(..., n)``.
+
+    Returns
+    -------
+    ``uint64`` array of shape ``(..., ceil(n / 64))``.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim == 0:
+        raise ValueError("pack_bits requires at least a 1-D input")
+    n = bits.shape[-1]
+    nwords = packed_words(n)
+    # np.packbits is big-endian within bytes; request little so bit i of the
+    # logical vector lands at byte i//8, bit i%8, then view bytes as uint64.
+    padded = np.zeros(bits.shape[:-1] + (nwords * WORD_BITS,), dtype=np.uint8)
+    padded[..., :n] = bits.astype(np.uint8)
+    packed_bytes = np.packbits(padded, axis=-1, bitorder="little")
+    return packed_bytes.view(_WORD_DTYPE) if packed_bytes.flags["C_CONTIGUOUS"] else np.ascontiguousarray(packed_bytes).view(_WORD_DTYPE)
+
+
+def unpack_bits(words: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns a ``uint8`` {0, 1} array of shape ``(..., n)``."""
+    words = np.ascontiguousarray(words, dtype=_WORD_DTYPE)
+    as_bytes = words.view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[..., :n]
+
+
+def pack_signs(x: np.ndarray) -> np.ndarray:
+    """Pack a {-1, +1} array into ``uint64`` words (``+1 -> 1``, ``-1 -> 0``).
+
+    This is exactly the paper's weight-storage transformation: weights arrive
+    as 32-bit floats and are reduced to one bit via the Sign function before
+    entering the on-chip weight cache.
+    """
+    x = np.asarray(x)
+    bad = (x != 1) & (x != -1)
+    if bad.any():
+        raise ValueError("pack_signs expects values in {-1, +1}")
+    return pack_bits((x > 0).astype(np.uint8))
+
+
+def unpack_signs(words: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`pack_signs`; returns an ``int8`` {-1, +1} array."""
+    bits = unpack_bits(words, n)
+    return (bits.astype(np.int8) * 2) - 1
+
+
+def pack_bitplanes(x: np.ndarray, bits: int) -> list[np.ndarray]:
+    """Decompose an unsigned ``bits``-bit integer array into packed bit-planes.
+
+    Returns a list ``planes`` of length ``bits`` with ``planes[b]`` the packed
+    plane of weight ``2**b``.  Values must lie in ``[0, 2**bits)``.
+    """
+    x = np.asarray(x)
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if np.any(x < 0) or np.any(x >= (1 << bits)):
+        raise ValueError(f"values out of range for {bits}-bit unsigned")
+    xi = x.astype(np.int64)
+    return [pack_bits(((xi >> b) & 1).astype(np.uint8)) for b in range(bits)]
+
+
+def popcount(words: np.ndarray, axis: int | None = -1) -> np.ndarray:
+    """Population count of packed words, summed along ``axis`` (or elementwise if None)."""
+    counts = np.bitwise_count(np.asarray(words, dtype=_WORD_DTYPE))
+    if axis is None:
+        return counts
+    return counts.sum(axis=axis, dtype=np.int64)
+
+
+def xnor_popcount_dot(a_words: np.ndarray, b_words: np.ndarray, n: int) -> np.ndarray:
+    """Dot product of two packed {-1, +1} vectors of logical length ``n``.
+
+    Broadcasts over leading axes.  Implements ``n - 2 * popcount(a XOR b)``;
+    zero tail bits cancel in the XOR so no mask is required.
+    """
+    xor = np.bitwise_xor(a_words, b_words)
+    return n - 2 * popcount(xor)
+
+
+def xnor_popcount_gemm(w_words: np.ndarray, x_words: np.ndarray, n: int) -> np.ndarray:
+    """Binary-binary matrix product via XNOR-popcount.
+
+    Parameters
+    ----------
+    w_words:
+        Packed weight matrix, shape ``(O, W)`` for ``O`` output neurons.
+    x_words:
+        Packed activation matrix, shape ``(N, W)`` for ``N`` samples/pixels.
+    n:
+        Logical (unpacked) vector length.
+
+    Returns
+    -------
+    ``int64`` array of shape ``(N, O)`` equal to the dense ±1 product.
+    """
+    w_words = np.asarray(w_words, dtype=_WORD_DTYPE)
+    x_words = np.asarray(x_words, dtype=_WORD_DTYPE)
+    xor = np.bitwise_xor(x_words[:, None, :], w_words[None, :, :])
+    return n - 2 * popcount(xor)
+
+
+def masked_popcount_dot(w_words: np.ndarray, mask_words: np.ndarray) -> np.ndarray:
+    """Dot of packed sign vector ``w`` with a packed {0, 1} mask.
+
+    ``sum_{i : mask_i = 1} w_i  =  2 * popcount(w AND mask) - popcount(mask)``.
+    Broadcasts over leading axes.
+    """
+    both = np.bitwise_and(w_words, mask_words)
+    return 2 * popcount(both) - popcount(mask_words)
+
+
+def bitplane_dot(w_words: np.ndarray, planes: list[np.ndarray]) -> np.ndarray:
+    """Dot of a packed sign vector with an n-bit activation given as bit-planes."""
+    acc = None
+    for b, plane in enumerate(planes):
+        term = masked_popcount_dot(w_words, plane) << b
+        acc = term if acc is None else acc + term
+    if acc is None:
+        raise ValueError("at least one bit-plane is required")
+    return acc
+
+
+def bitplane_gemm(w_words: np.ndarray, planes: list[np.ndarray]) -> np.ndarray:
+    """Binary-weight x n-bit-activation matrix product via AND-popcount planes.
+
+    Parameters
+    ----------
+    w_words:
+        Packed weights, shape ``(O, W)``.
+    planes:
+        List of packed activation planes, each of shape ``(N, W)``;
+        ``planes[b]`` carries weight ``2**b``.
+
+    Returns
+    -------
+    ``int64`` array of shape ``(N, O)``.
+    """
+    w_words = np.asarray(w_words, dtype=_WORD_DTYPE)
+    acc = None
+    for b, plane in enumerate(planes):
+        plane = np.asarray(plane, dtype=_WORD_DTYPE)
+        and_pc = popcount(np.bitwise_and(plane[:, None, :], w_words[None, :, :]))
+        mask_pc = popcount(plane)[:, None]
+        term = (2 * and_pc - mask_pc) << b
+        acc = term if acc is None else acc + term
+    if acc is None:
+        raise ValueError("at least one bit-plane is required")
+    return acc
+
+
+@dataclass(frozen=True)
+class BitPackedMatrix:
+    """A sign matrix stored bit-packed, as the FPGA weight cache stores it.
+
+    Each of the ``rows`` logical rows (one per output feature map, i.e. one
+    cache entry in the paper's weight cache) holds ``cols`` sign bits packed
+    into ``uint64`` words.
+    """
+
+    words: np.ndarray
+    rows: int
+    cols: int
+
+    @classmethod
+    def from_signs(cls, signs: np.ndarray) -> "BitPackedMatrix":
+        signs = np.asarray(signs)
+        if signs.ndim != 2:
+            raise ValueError(f"expected a 2-D sign matrix, got shape {signs.shape}")
+        return cls(words=pack_signs(signs), rows=signs.shape[0], cols=signs.shape[1])
+
+    @classmethod
+    def from_float(cls, weights: np.ndarray) -> "BitPackedMatrix":
+        """Binarize float weights with Sign (zero maps to +1) and pack them."""
+        weights = np.asarray(weights, dtype=np.float64)
+        signs = np.where(weights >= 0, 1, -1).astype(np.int8)
+        return cls.from_signs(signs)
+
+    def to_signs(self) -> np.ndarray:
+        return unpack_signs(self.words, self.cols)
+
+    def matmul_binary(self, x_words: np.ndarray) -> np.ndarray:
+        """Multiply against packed ±1 activations of shape ``(N, W)``."""
+        return xnor_popcount_gemm(self.words, x_words, self.cols)
+
+    def matmul_planes(self, planes: list[np.ndarray]) -> np.ndarray:
+        """Multiply against n-bit activations given as packed bit-planes."""
+        return bitplane_gemm(self.words, planes)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.words.nbytes)
+
+
+@dataclass(frozen=True)
+class BitplaneTensor:
+    """An n-bit unsigned activation tensor stored as packed bit-planes.
+
+    ``planes[b]`` has shape ``(N, ceil(cols / 64))`` and weight ``2**b``; the
+    logical tensor is ``sum_b 2**b * unpack(planes[b])`` of shape
+    ``(N, cols)``.
+    """
+
+    planes: tuple[np.ndarray, ...]
+    rows: int
+    cols: int
+    bits: int
+
+    @classmethod
+    def from_levels(cls, levels: np.ndarray, bits: int) -> "BitplaneTensor":
+        levels = np.asarray(levels)
+        if levels.ndim != 2:
+            raise ValueError(f"expected 2-D level matrix, got shape {levels.shape}")
+        planes = tuple(pack_bitplanes(levels, bits))
+        return cls(planes=planes, rows=levels.shape[0], cols=levels.shape[1], bits=bits)
+
+    def to_levels(self) -> np.ndarray:
+        out = np.zeros((self.rows, self.cols), dtype=np.int64)
+        for b, plane in enumerate(self.planes):
+            out += unpack_bits(plane, self.cols).astype(np.int64) << b
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(p.nbytes for p in self.planes))

@@ -1,0 +1,108 @@
+"""Quantizer definitions: 1-bit sign weights and n-bit uniform activations.
+
+The paper (following Hubara et al.) uses 1-bit weights obtained with the
+Sign function and n-bit *uniform* activations: the input range is divided
+into ``2**n`` equally-sized ranges of width ``d``, each mapped to one output
+level.  These classes are the pure-math description of that scheme; the
+hardware realisation (threshold comparisons) lives in
+:mod:`repro.quantization.thresholds` and is property-tested to agree with
+these references bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SignQuantizer", "UniformQuantizer"]
+
+
+@dataclass(frozen=True)
+class SignQuantizer:
+    """1-bit quantizer: ``x -> +1`` if ``x >= 0`` else ``-1``.
+
+    Matches the paper's weight binarization ("transformed into a 1-bit
+    representation, using the Sign function") with the common convention
+    that zero maps to ``+1``.
+    """
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        return np.where(x >= 0, 1, -1).astype(np.int8)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        return np.asarray(q, dtype=np.float64)
+
+    @property
+    def bits(self) -> int:
+        return 1
+
+    @property
+    def levels(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class UniformQuantizer:
+    """n-bit uniform activation quantizer over ``[lo, lo + 2**bits * d)``.
+
+    The quantizer divides its input range into ``2**bits`` equal ranges of
+    width ``d``; inputs below the range clamp to level 0, inputs at or above
+    the top clamp to level ``2**bits - 1``.  ``quantize_level`` returns the
+    integer range index (what the FPGA streams between layers);
+    ``dequantize`` returns the representative value of a level, used by the
+    floating-point training path.
+
+    Parameters
+    ----------
+    bits:
+        Activation bit width ``n`` (the paper uses 2).
+    lo:
+        Lower edge of the quantization range.
+    d:
+        Width of each of the ``2**bits`` ranges.
+    midpoint:
+        If True (default), a level dequantizes to its range midpoint
+        ``lo + (level + 0.5) * d``; otherwise to the range's left edge.
+    """
+
+    bits: int
+    lo: float = 0.0
+    d: float = 1.0
+    midpoint: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+        if not self.d > 0:
+            raise ValueError(f"range width d must be positive, got {self.d}")
+
+    @property
+    def levels(self) -> int:
+        return 1 << self.bits
+
+    @property
+    def hi(self) -> float:
+        """Upper edge of the representable range."""
+        return self.lo + self.levels * self.d
+
+    def quantize_level(self, x: np.ndarray) -> np.ndarray:
+        """Map inputs to integer levels in ``[0, 2**bits)`` (clamped floor)."""
+        x = np.asarray(x, dtype=np.float64)
+        idx = np.floor((x - self.lo) / self.d)
+        return np.clip(idx, 0, self.levels - 1).astype(np.int64)
+
+    def dequantize(self, level: np.ndarray) -> np.ndarray:
+        level = np.asarray(level, dtype=np.float64)
+        offset = 0.5 if self.midpoint else 0.0
+        return self.lo + (level + offset) * self.d
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round-trip ``x`` through the quantizer (quantize then dequantize)."""
+        return self.dequantize(self.quantize_level(x))
+
+    def boundaries(self) -> np.ndarray:
+        """The ``2**bits - 1`` interior range endpoints ``lo + a * d``, a=1..2**bits-1."""
+        alphas = np.arange(1, self.levels)
+        return self.lo + alphas * self.d

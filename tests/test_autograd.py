@@ -1,0 +1,219 @@
+"""Gradient checks for the autograd engine (numerical differentiation)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import autograd as ag
+from repro.nn.autograd import Tensor
+from repro.quantization import UniformQuantizer
+
+RNG = np.random.default_rng(4)
+
+
+def numerical_grad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        fp = f()
+        x[idx] = orig - eps
+        fm = f()
+        x[idx] = orig
+        g[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+def check_grad(build, params, tol=1e-5):
+    """build() -> scalar Tensor; checks analytic vs numerical grads."""
+    out = build()
+    out.backward()
+    for p in params:
+        analytic = p.grad.copy()
+        num = numerical_grad(lambda: float(build().data), p.data)
+        assert np.allclose(analytic, num, atol=tol, rtol=1e-4), (
+            f"grad mismatch for {p.name or 'param'}: max "
+            f"{np.abs(analytic - num).max()}"
+        )
+        p.zero_grad()
+
+
+class TestBasicOps:
+    def test_add_backward(self):
+        a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        w = RNG.normal(size=(3, 4))
+        check_grad(lambda: _weighted_sum(ag.add(a, b), w), [a, b])
+
+    def test_add_broadcast(self):
+        a = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        w = RNG.normal(size=(3, 4))
+        check_grad(lambda: _weighted_sum(ag.add(a, b), w), [a, b])
+
+    def test_matmul_backward(self):
+        x = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+        w = Tensor(RNG.normal(size=(3, 2)), requires_grad=True)
+        wt = RNG.normal(size=(5, 2))
+        check_grad(lambda: _weighted_sum(ag.matmul(x, w), wt), [x, w])
+
+    def test_scale(self):
+        a = Tensor(RNG.normal(size=(4,)), requires_grad=True)
+        w = RNG.normal(size=(4,))
+        check_grad(lambda: _weighted_sum(2.5 * a, w), [a])
+
+    def test_reshape(self):
+        x = Tensor(RNG.normal(size=(2, 6)), requires_grad=True)
+        w = RNG.normal(size=(3, 4))
+        check_grad(lambda: _weighted_sum(ag.reshape(x, (3, 4)), w), [x])
+
+    def test_relu(self):
+        x = Tensor(RNG.normal(size=(10,)) + 0.05, requires_grad=True)
+        w = RNG.normal(size=(10,))
+        check_grad(lambda: _weighted_sum(ag.relu(x), w), [x])
+
+
+def _weighted_sum(t: Tensor, w) -> Tensor:
+    out = Tensor((t.data * w).sum(), t.requires_grad, (t,))
+
+    def backward():
+        if t.requires_grad:
+            t.accumulate_grad(out.grad * w)
+
+    out._backward = backward
+    return out
+
+
+class TestConvGrad:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 1)])
+    def test_conv2d_backward(self, stride, pad):
+        x = Tensor(RNG.normal(size=(2, 5, 5, 2)), requires_grad=True)
+        w = Tensor(RNG.normal(size=(3, 3, 2, 3)), requires_grad=True)
+        ho = (5 + 2 * pad - 3) // stride + 1
+        wt = RNG.normal(size=(2, ho, ho, 3))
+        check_grad(lambda: _weighted_sum(ag.conv2d(x, w, stride, pad, 0.3), wt), [x, w])
+
+
+class TestPoolGrad:
+    def test_maxpool_backward(self):
+        x = Tensor(RNG.normal(size=(2, 4, 4, 2)), requires_grad=True)
+        wt = RNG.normal(size=(2, 2, 2, 2))
+        check_grad(lambda: _weighted_sum(ag.maxpool2d(x, 2), wt), [x])
+
+    def test_maxpool_padded_backward(self):
+        x = Tensor(RNG.normal(size=(1, 5, 5, 2)), requires_grad=True)
+        out = ag.maxpool2d(x, 3, 2, pad=1, pad_value=-100.0)
+        wt = RNG.normal(size=out.data.shape)
+        check_grad(lambda: _weighted_sum(ag.maxpool2d(x, 3, 2, pad=1, pad_value=-100.0), wt), [x])
+
+    def test_global_avgpool_backward(self):
+        x = Tensor(RNG.normal(size=(2, 3, 3, 4)), requires_grad=True)
+        wt = RNG.normal(size=(2, 4))
+        check_grad(lambda: _weighted_sum(ag.global_avgpool(x), wt), [x])
+
+
+class TestBatchNormGrad:
+    def test_training_mode_backward(self):
+        x = Tensor(RNG.normal(size=(8, 3)), requires_grad=True)
+        gamma = Tensor(RNG.uniform(0.5, 1.5, 3), requires_grad=True)
+        beta = Tensor(RNG.normal(size=3), requires_grad=True)
+        wt = RNG.normal(size=(8, 3))
+
+        def build():
+            rm, rv = np.zeros(3), np.ones(3)
+            return _weighted_sum(ag.batchnorm(x, gamma, beta, rm, rv, training=True), wt)
+
+        check_grad(build, [x, gamma, beta], tol=1e-4)
+
+    def test_eval_mode_backward(self):
+        x = Tensor(RNG.normal(size=(6, 3)), requires_grad=True)
+        gamma = Tensor(RNG.uniform(0.5, 1.5, 3), requires_grad=True)
+        beta = Tensor(RNG.normal(size=3), requires_grad=True)
+        rm, rv = RNG.normal(size=3), RNG.uniform(0.5, 2.0, 3)
+        wt = RNG.normal(size=(6, 3))
+        check_grad(
+            lambda: _weighted_sum(ag.batchnorm(x, gamma, beta, rm, rv, training=False), wt),
+            [x, gamma, beta],
+        )
+
+    def test_running_stats_update(self):
+        x = Tensor(RNG.normal(loc=2.0, size=(64, 2)))
+        gamma, beta = Tensor(np.ones(2)), Tensor(np.zeros(2))
+        rm, rv = np.zeros(2), np.ones(2)
+        ag.batchnorm(x, gamma, beta, rm, rv, training=True, momentum=1.0)
+        assert np.allclose(rm, x.data.mean(axis=0))
+
+    def test_eval_does_not_update_stats(self):
+        x = Tensor(RNG.normal(size=(10, 2)))
+        rm, rv = np.zeros(2), np.ones(2)
+        ag.batchnorm(x, Tensor(np.ones(2)), Tensor(np.zeros(2)), rm, rv, training=False)
+        assert (rm == 0).all() and (rv == 1).all()
+
+
+class TestSTE:
+    def test_sign_forward(self):
+        w = Tensor(np.array([-0.5, 0.0, 0.7]), requires_grad=True)
+        assert ag.sign_ste(w).data.tolist() == [-1.0, 1.0, 1.0]
+
+    def test_sign_ste_gradient_clip(self):
+        w = Tensor(np.array([-2.0, -0.5, 0.5, 2.0]), requires_grad=True)
+        out = ag.sign_ste(w)
+        out.backward(np.ones(4))
+        assert w.grad.tolist() == [0.0, 1.0, 1.0, 0.0]
+
+    def test_uniform_quant_forward(self):
+        q = UniformQuantizer(bits=2, lo=0.0, d=0.5)
+        x = Tensor(np.array([0.1, 0.6, 1.3, 5.0]), requires_grad=True)
+        assert np.allclose(ag.uniform_quant_ste(x, q).data, q.quantize(x.data))
+
+    def test_uniform_quant_ste_gradient_window(self):
+        q = UniformQuantizer(bits=2, lo=0.0, d=0.5)
+        x = Tensor(np.array([-0.1, 0.5, 1.9, 2.1]), requires_grad=True)
+        ag.uniform_quant_ste(x, q).backward(np.ones(4))
+        assert x.grad.tolist() == [0.0, 1.0, 1.0, 0.0]
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = Tensor(RNG.normal(size=(4, 3)), requires_grad=True)
+        labels = np.array([0, 2, 1, 1])
+        loss = ag.cross_entropy(logits, labels)
+        p = np.exp(logits.data) / np.exp(logits.data).sum(axis=1, keepdims=True)
+        manual = -np.log(p[np.arange(4), labels]).mean()
+        assert np.isclose(float(loss.data), manual)
+
+    def test_gradient(self):
+        logits = Tensor(RNG.normal(size=(5, 4)), requires_grad=True)
+        labels = RNG.integers(0, 4, size=5)
+
+        def build():
+            return ag.cross_entropy(Tensor(logits.data, requires_grad=True, _prev=()), labels)
+
+        loss = ag.cross_entropy(logits, labels)
+        loss.backward()
+        analytic = logits.grad
+        num = numerical_grad(lambda: float(ag.cross_entropy(Tensor(logits.data), labels).data), logits.data)
+        assert np.allclose(analytic, num, atol=1e-5)
+
+
+class TestBackwardMechanics:
+    def test_scalar_required_without_grad(self):
+        t = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward()
+
+    def test_grad_accumulation_through_fanout(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        out = ag.add(a, a)
+        out.backward(np.ones(2))
+        assert a.grad.tolist() == [2.0, 2.0]
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = 1.0 * y
+        y.backward(np.ones(1))
+        assert x.grad[0] == 1.0

@@ -1,0 +1,74 @@
+"""Tests for the FINN baseline model (Table IV comparator)."""
+
+import pytest
+
+from repro.baselines.finn import (
+    FINN_PAPER_POINT,
+    build_finn_cnv,
+    finn_performance_model,
+)
+from repro.models import direct_vgg_graph
+from repro.nn.modules import SignActivation
+
+
+class TestFinnNetwork:
+    def test_uses_sign_activations(self):
+        model = build_finn_cnv(width=0.0625)
+        acts = [m for m in model.modules() if isinstance(m, SignActivation)]
+        assert len(acts) >= 6  # after every conv/fc except the head
+
+    def test_trainable_and_exportable(self):
+        import numpy as np
+
+        from repro.models import randomize_batchnorm
+        from repro.nn import Tensor, export_model, input_to_levels, run_graph
+
+        model = build_finn_cnv(input_size=16, classes=4, width=0.0625)
+        randomize_batchnorm(model, np.random.default_rng(0))
+        model.eval()
+        graph = export_model(model, (16, 16, 3))
+        x = np.random.default_rng(1).uniform(0, 1, (2, 16, 16, 3))
+        levels = input_to_levels(x, model.layers[0].quantizer)
+        got = run_graph(graph, levels).logits(graph)
+        ref = model(Tensor(x)).data
+        assert abs(got - ref).max() < 1e-9
+
+    def test_binary_streams_are_one_bit(self):
+        import numpy as np
+
+        from repro.models import randomize_batchnorm
+        from repro.nn import export_model
+
+        model = build_finn_cnv(input_size=16, classes=4, width=0.0625)
+        randomize_batchnorm(model, np.random.default_rng(0))
+        model.eval()
+        graph = export_model(model, (16, 16, 3))
+        level_specs = [s for s in graph.specs.values() if s.kind == "levels"]
+        # all post-activation streams are 1-bit (input stream is 2-bit)
+        assert any(s.bits == 1 for s in level_specs)
+
+
+class TestFinnPerformance:
+    def test_published_point(self):
+        assert FINN_PAPER_POINT.time_ms == pytest.approx(0.0456)
+        assert FINN_PAPER_POINT.accuracy == pytest.approx(0.801)
+
+    def test_model_reproduces_published_throughput(self):
+        """The folded-MVU model must land near FINN's 0.0456 ms CNV point."""
+        graph = direct_vgg_graph(32)
+        perf = finn_performance_model(graph)
+        assert 0.5 * FINN_PAPER_POINT.time_ms < perf["time_ms"] < 2.0 * FINN_PAPER_POINT.time_ms
+
+    def test_finn_is_faster_than_streaming_dfe(self):
+        from repro.hardware import estimate_network_timing
+
+        graph = direct_vgg_graph(32)
+        finn_ms = finn_performance_model(graph)["time_ms"]
+        dfe_ms = estimate_network_timing(graph).latency_ms
+        assert finn_ms < dfe_ms
+
+    def test_more_parallelism_is_faster(self):
+        graph = direct_vgg_graph(32)
+        slow = finn_performance_model(graph, fold_parallelism=16)
+        fast = finn_performance_model(graph, fold_parallelism=64)
+        assert fast["time_ms"] < slow["time_ms"]

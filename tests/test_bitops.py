@@ -1,0 +1,206 @@
+"""Unit tests for the bit-packed arithmetic substrate."""
+
+import numpy as np
+import pytest
+
+from repro.quantization import (
+    BitPackedMatrix,
+    BitplaneTensor,
+    bitplane_dot,
+    bitplane_gemm,
+    masked_popcount_dot,
+    pack_bitplanes,
+    pack_bits,
+    pack_signs,
+    packed_words,
+    popcount,
+    unpack_bits,
+    unpack_signs,
+    xnor_popcount_dot,
+    xnor_popcount_gemm,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestPackedWords:
+    def test_exact_multiples(self):
+        assert packed_words(64) == 1
+        assert packed_words(128) == 2
+
+    def test_rounding_up(self):
+        assert packed_words(1) == 1
+        assert packed_words(65) == 2
+
+    def test_zero(self):
+        assert packed_words(0) == 0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            packed_words(-1)
+
+
+class TestPackBits:
+    @pytest.mark.parametrize("n", [1, 7, 63, 64, 65, 127, 128, 200])
+    def test_roundtrip(self, n):
+        bits = RNG.integers(0, 2, size=n).astype(np.uint8)
+        assert (unpack_bits(pack_bits(bits), n) == bits).all()
+
+    def test_batched_roundtrip(self):
+        bits = RNG.integers(0, 2, size=(4, 5, 70)).astype(np.uint8)
+        assert (unpack_bits(pack_bits(bits), 70) == bits).all()
+
+    def test_lsb_first_layout(self):
+        bits = np.zeros(64, dtype=np.uint8)
+        bits[0] = 1
+        assert pack_bits(bits)[0] == 1
+        bits = np.zeros(64, dtype=np.uint8)
+        bits[63] = 1
+        assert pack_bits(bits)[0] == np.uint64(1) << np.uint64(63)
+
+    def test_tail_bits_zero(self):
+        bits = np.ones(65, dtype=np.uint8)
+        words = pack_bits(bits)
+        # the 63 tail bits of word 1 must be zero
+        assert words[1] == 1
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.uint8(1))
+
+
+class TestPackSigns:
+    @pytest.mark.parametrize("n", [1, 64, 100])
+    def test_roundtrip(self, n):
+        signs = RNG.choice([-1, 1], size=(3, n)).astype(np.int8)
+        assert (unpack_signs(pack_signs(signs), n) == signs).all()
+
+    def test_rejects_non_sign_values(self):
+        with pytest.raises(ValueError):
+            pack_signs(np.array([1, 0, -1]))
+
+    def test_plus_one_maps_to_set_bit(self):
+        words = pack_signs(np.array([1, -1, 1, -1]))
+        assert words[0] == 0b0101
+
+
+class TestPopcount:
+    def test_known_value(self):
+        assert popcount(np.array([0xFF], dtype=np.uint64))[()] == 8
+
+    def test_sums_over_axis(self):
+        w = np.array([[1, 3], [7, 0]], dtype=np.uint64)
+        assert popcount(w).tolist() == [3, 3]
+
+    def test_elementwise(self):
+        w = np.array([1, 3], dtype=np.uint64)
+        assert popcount(w, axis=None).tolist() == [1, 2]
+
+
+class TestXnorDot:
+    @pytest.mark.parametrize("n", [1, 3, 64, 65, 300])
+    def test_matches_dense(self, n):
+        a = RNG.choice([-1, 1], size=n)
+        b = RNG.choice([-1, 1], size=n)
+        got = xnor_popcount_dot(pack_signs(a), pack_signs(b), n)
+        assert got.sum() == int(a @ b)
+
+    def test_identical_vectors(self):
+        a = RNG.choice([-1, 1], size=100)
+        assert xnor_popcount_dot(pack_signs(a), pack_signs(a), 100).sum() == 100
+
+    def test_opposite_vectors(self):
+        a = RNG.choice([-1, 1], size=100)
+        assert xnor_popcount_dot(pack_signs(a), pack_signs(-a), 100).sum() == -100
+
+
+class TestXnorGemm:
+    @pytest.mark.parametrize("shape", [(1, 1, 1), (3, 5, 64), (7, 4, 130), (2, 8, 31)])
+    def test_matches_dense(self, shape):
+        o, n, k = shape
+        w = RNG.choice([-1, 1], size=(o, k))
+        x = RNG.choice([-1, 1], size=(n, k))
+        got = xnor_popcount_gemm(pack_signs(w), pack_signs(x), k)
+        assert (got == x @ w.T).all()
+
+
+class TestMaskedPopcount:
+    @pytest.mark.parametrize("n", [5, 64, 129])
+    def test_matches_dense(self, n):
+        w = RNG.choice([-1, 1], size=n)
+        m = RNG.integers(0, 2, size=n)
+        got = masked_popcount_dot(pack_signs(w), pack_bits(m))
+        assert got.sum() == int(w @ m)
+
+
+class TestBitplanes:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 8])
+    def test_roundtrip(self, bits):
+        x = RNG.integers(0, 1 << bits, size=(4, 90))
+        bt = BitplaneTensor.from_levels(x, bits)
+        assert (bt.to_levels() == x).all()
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            pack_bitplanes(np.array([[4]]), 2)
+        with pytest.raises(ValueError):
+            pack_bitplanes(np.array([[-1]]), 2)
+
+    def test_zero_bits_raises(self):
+        with pytest.raises(ValueError):
+            pack_bitplanes(np.array([[0]]), 0)
+
+    @pytest.mark.parametrize("bits", [1, 2, 4])
+    def test_bitplane_dot_matches_dense(self, bits):
+        n = 150
+        w = RNG.choice([-1, 1], size=n)
+        x = RNG.integers(0, 1 << bits, size=n)
+        planes = pack_bitplanes(x[None, :], bits)
+        got = bitplane_dot(pack_signs(w)[None, :], planes)
+        assert got.sum() == int(w @ x)
+
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_bitplane_gemm_matches_dense(self, bits):
+        w = RNG.choice([-1, 1], size=(6, 100))
+        x = RNG.integers(0, 1 << bits, size=(4, 100))
+        bt = BitplaneTensor.from_levels(x, bits)
+        got = bitplane_gemm(pack_signs(w), list(bt.planes))
+        assert (got == x @ w.T).all()
+
+    def test_empty_planes_raise(self):
+        with pytest.raises(ValueError):
+            bitplane_gemm(pack_signs(RNG.choice([-1, 1], size=(2, 8))), [])
+
+
+class TestBitPackedMatrix:
+    def test_from_signs_roundtrip(self):
+        signs = RNG.choice([-1, 1], size=(5, 77)).astype(np.int8)
+        m = BitPackedMatrix.from_signs(signs)
+        assert m.rows == 5 and m.cols == 77
+        assert (m.to_signs() == signs).all()
+
+    def test_from_float_binarizes_with_sign(self):
+        w = np.array([[0.5, -0.1, 0.0, -2.0]])
+        m = BitPackedMatrix.from_float(w)
+        assert (m.to_signs() == [[1, -1, 1, -1]]).all()
+
+    def test_matmul_binary(self):
+        w = RNG.choice([-1, 1], size=(4, 70))
+        x = RNG.choice([-1, 1], size=(3, 70))
+        m = BitPackedMatrix.from_signs(w)
+        assert (m.matmul_binary(pack_signs(x)) == x @ w.T).all()
+
+    def test_matmul_planes(self):
+        w = RNG.choice([-1, 1], size=(4, 70))
+        x = RNG.integers(0, 4, size=(3, 70))
+        m = BitPackedMatrix.from_signs(w)
+        bt = BitplaneTensor.from_levels(x, 2)
+        assert (m.matmul_planes(list(bt.planes)) == x @ w.T).all()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            BitPackedMatrix.from_signs(np.ones(5))
+
+    def test_nbytes_positive(self):
+        m = BitPackedMatrix.from_signs(RNG.choice([-1, 1], size=(2, 65)))
+        assert m.nbytes == 2 * 2 * 8

@@ -1,0 +1,71 @@
+"""Tests for the synthetic dataset substrate."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DATASET_PRESETS, make_dataset
+
+
+class TestPresets:
+    def test_preset_shapes(self):
+        assert DATASET_PRESETS["cifar10-like"] == (32, 3, 10)
+        assert DATASET_PRESETS["imagenet-like"] == (224, 3, 1000)
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError):
+            make_dataset("mnist")
+
+
+class TestGeneration:
+    def test_shapes(self):
+        ds = make_dataset("cifar10-like", n_train=20, n_test=10)
+        assert ds.x_train.shape == (20, 32, 32, 3)
+        assert ds.x_test.shape == (10, 32, 32, 3)
+        assert ds.y_train.shape == (20,)
+        assert ds.input_shape == (32, 32, 3)
+
+    def test_value_range(self):
+        ds = make_dataset("cifar10-like", n_train=30, n_test=5, seed=1)
+        assert ds.x_train.min() >= 0.0
+        assert ds.x_train.max() < 1.0
+
+    def test_labels_in_range(self):
+        ds = make_dataset("cifar10-like", n_train=50, n_test=5, classes=4)
+        assert set(np.unique(ds.y_train)) <= set(range(4))
+
+    def test_deterministic(self):
+        a = make_dataset("cifar10-like", n_train=10, n_test=5, seed=7)
+        b = make_dataset("cifar10-like", n_train=10, n_test=5, seed=7)
+        assert (a.x_train == b.x_train).all() and (a.y_train == b.y_train).all()
+
+    def test_seed_changes_data(self):
+        a = make_dataset("cifar10-like", n_train=10, n_test=5, seed=1)
+        b = make_dataset("cifar10-like", n_train=10, n_test=5, seed=2)
+        assert not (a.x_train == b.x_train).all()
+
+    def test_overrides(self):
+        ds = make_dataset("cifar10-like", n_train=8, n_test=4, size=16, channels=1, classes=3)
+        assert ds.x_train.shape == (8, 16, 16, 1)
+        assert ds.classes == 3
+
+    def test_class_structure_is_learnable(self):
+        """A nearest-class-mean classifier must beat chance comfortably."""
+        ds = make_dataset("cifar10-like", n_train=200, n_test=100, classes=4, size=16, seed=3)
+        means = np.stack([ds.x_train[ds.y_train == c].mean(axis=0) for c in range(4)])
+        flat_means = means.reshape(4, -1)
+        flat_test = ds.x_test.reshape(len(ds.x_test), -1)
+        dists = ((flat_test[:, None, :] - flat_means[None]) ** 2).sum(axis=-1)
+        acc = (dists.argmin(axis=1) == ds.y_test).mean()
+        assert acc > 0.5, f"nearest-mean accuracy {acc}"
+
+    def test_noise_makes_it_harder(self):
+        clean = make_dataset("cifar10-like", n_train=100, n_test=50, classes=4, size=16, noise=0.01, seed=4)
+        noisy = make_dataset("cifar10-like", n_train=100, n_test=50, classes=4, size=16, noise=0.6, seed=4)
+
+        def nm_acc(ds):
+            means = np.stack([ds.x_train[ds.y_train == c].mean(axis=0) for c in range(4)]).reshape(4, -1)
+            flat = ds.x_test.reshape(len(ds.x_test), -1)
+            d = ((flat[:, None, :] - means[None]) ** 2).sum(axis=-1)
+            return (d.argmin(axis=1) == ds.y_test).mean()
+
+        assert nm_acc(clean) >= nm_acc(noisy)

@@ -1,0 +1,172 @@
+"""Exporter correctness: the float eval model and the integer IR must agree."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    build_alexnet,
+    build_resnet,
+    build_vgg_like,
+    make_input_quantizer,
+    randomize_batchnorm,
+)
+from repro.nn import (
+    BatchNorm2d,
+    ExportError,
+    QActivation,
+    QConv2d,
+    QLinear,
+    Sequential,
+    Tensor,
+    export_model,
+    input_to_levels,
+    run_graph,
+)
+from repro.nn.inference import classify
+
+RNG = np.random.default_rng(7)
+
+
+def assert_bit_exact(model, shape, n=3, seed=0):
+    rng = np.random.default_rng(seed)
+    model.eval()
+    graph = export_model(model, shape)
+    x = rng.uniform(0, 1, size=(n, *shape))
+    levels = input_to_levels(x, model.layers[0].quantizer)
+    got = run_graph(graph, levels).logits(graph)
+    ref = model(Tensor(x)).data
+    np.testing.assert_allclose(got, ref, atol=1e-9)
+    return graph, levels
+
+
+class TestChainExport:
+    def test_vgg_like_bit_exact(self, tiny_chain_model):
+        assert_bit_exact(tiny_chain_model, (16, 16, 3))
+
+    def test_bnn_variant_bit_exact(self):
+        model = build_vgg_like(input_size=16, width=0.0625, classes=4, act_bits=1, seed=3)
+        randomize_batchnorm(model, np.random.default_rng(4))
+        assert_bit_exact(model, (16, 16, 3))
+
+    def test_alexnet_tiny_bit_exact(self):
+        model = build_alexnet(input_size=67, width=0.04, classes=4, seed=5)
+        randomize_batchnorm(model, np.random.default_rng(6))
+        assert_bit_exact(model, (67, 67, 3), n=1)
+
+    def test_bitops_route_identical(self, tiny_chain_model, tiny_chain_graph, images16):
+        levels = input_to_levels(images16, tiny_chain_model.layers[0].quantizer)
+        a = run_graph(tiny_chain_graph, levels)
+        b = run_graph(tiny_chain_graph, levels, use_bitops=True)
+        assert (a.output == b.output).all()
+
+    def test_classify_matches_float_argmax(self, tiny_chain_model, tiny_chain_graph, images16):
+        levels = input_to_levels(images16, tiny_chain_model.layers[0].quantizer)
+        ref = tiny_chain_model(Tensor(images16)).data.argmax(axis=-1)
+        assert (classify(tiny_chain_graph, levels) == ref).all()
+
+
+class TestResidualExport:
+    def test_resnet_bit_exact(self, tiny_resnet_model):
+        assert_bit_exact(tiny_resnet_model, (16, 16, 3))
+
+    def test_resnet_with_stem_pool_bit_exact(self):
+        model = build_resnet(
+            input_size=20, width=0.0625, classes=4,
+            stages=[(64, 1, 1)], stem_kernel=3, stem_stride=1, stem_pool=True, seed=11,
+        )
+        randomize_batchnorm(model, np.random.default_rng(12))
+        assert_bit_exact(model, (20, 20, 3), n=2)
+
+    def test_deeper_resnet_bit_exact(self):
+        model = build_resnet(
+            input_size=16, width=0.125, classes=4,
+            stages=[(32, 2, 1), (64, 1, 2)], stem_kernel=3, stem_stride=1, stem_pool=False, seed=13,
+        )
+        randomize_batchnorm(model, np.random.default_rng(14))
+        assert_bit_exact(model, (16, 16, 3), n=2)
+
+    def test_skip_graph_structure(self, tiny_resnet_graph):
+        """Residual blocks lower to conv/add/threshold with fan-out."""
+        from repro.nn.graph import AddNode
+
+        adds = [n for n in tiny_resnet_graph.order if isinstance(tiny_resnet_graph.nodes[n], AddNode)]
+        assert len(adds) == 4  # two blocks x two adds
+        for a in adds:
+            assert len(tiny_resnet_graph.parents(a)) == 2
+
+
+class TestExportValidation:
+    def test_requires_input_quantizer(self):
+        model = Sequential(QConv2d(3, 4, 3))
+        with pytest.raises(ExportError):
+            export_model(model, (8, 8, 3))
+
+    def test_pad_value_mismatch_rejected(self):
+        in_q = make_input_quantizer(2)
+        conv = QConv2d(3, 4, 3, pad=1, pad_value=0.77)  # wrong: level-0 value is 0.125
+        model = Sequential(in_q, conv, BatchNorm2d(4), QActivation(bits=2, d=0.5))
+        model.eval()
+        with pytest.raises(ExportError, match="pad_value"):
+            export_model(model, (8, 8, 3))
+
+    def test_bn_without_activation_rejected(self):
+        in_q = make_input_quantizer(2)
+        model = Sequential(in_q, QConv2d(3, 4, 3), BatchNorm2d(4))
+        model.eval()
+        with pytest.raises(ExportError):
+            export_model(model, (8, 8, 3))
+
+    def test_non_binary_conv_rejected(self):
+        in_q = make_input_quantizer(2)
+        model = Sequential(in_q, QConv2d(3, 4, 3, binary=False))
+        model.eval()
+        with pytest.raises(ExportError, match="binary"):
+            export_model(model, (8, 8, 3))
+
+    def test_linear_shape_mismatch_rejected(self):
+        from repro.nn import Flatten
+
+        in_q = make_input_quantizer(2)
+        model = Sequential(in_q, Flatten(), QLinear(999, 4))
+        model.eval()
+        with pytest.raises(ExportError):
+            export_model(model, (8, 8, 3))
+
+    def test_unsupported_module_rejected(self):
+        class Strange:
+            pass
+
+        from repro.nn.modules import Module
+
+        class StrangeModule(Module):
+            def forward(self, x):
+                return x
+
+        in_q = make_input_quantizer(2)
+        model = Sequential(in_q, StrangeModule())
+        model.eval()
+        with pytest.raises(ExportError, match="unsupported"):
+            export_model(model, (8, 8, 3))
+
+
+class TestAffineMetadata:
+    def test_output_affine_present(self, tiny_chain_graph):
+        assert tiny_chain_graph.output_affine is not None
+
+    def test_logits_requires_affine(self, tiny_chain_graph, tiny_chain_model, images16):
+        levels = input_to_levels(images16, tiny_chain_model.layers[0].quantizer)
+        res = run_graph(tiny_chain_graph, levels)
+        affine = tiny_chain_graph.output_affine
+        tiny_chain_graph.output_affine = None
+        try:
+            with pytest.raises(ValueError):
+                res.logits(tiny_chain_graph)
+        finally:
+            tiny_chain_graph.output_affine = affine
+
+    def test_input_validation(self, tiny_chain_graph):
+        with pytest.raises(ValueError):
+            run_graph(tiny_chain_graph, np.zeros((4, 4, 3), dtype=np.int64))
+        bad = np.full((16, 16, 3), 9, dtype=np.int64)  # out of 2-bit range
+        with pytest.raises(ValueError):
+            run_graph(tiny_chain_graph, bad)

@@ -1,0 +1,158 @@
+"""Unit tests for the reference NumPy operators."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(2)
+
+
+def naive_conv2d(x, w, stride, pad, pad_value):
+    """Direct-loop reference convolution (HWC / KKIO)."""
+    k = w.shape[0]
+    xp = F.pad2d(x, pad, pad_value)
+    h, wd, ci = xp.shape
+    co = w.shape[3]
+    ho = (h - k) // stride + 1
+    wo = (wd - k) // stride + 1
+    out = np.zeros((ho, wo, co))
+    for i in range(ho):
+        for j in range(wo):
+            patch = xp[i * stride : i * stride + k, j * stride : j * stride + k, :]
+            for o in range(co):
+                out[i, j, o] = (patch * w[:, :, :, o]).sum()
+    return out
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(32, 3, 1, 1) == 32
+        assert F.conv_output_size(224, 7, 2, 3) == 112
+        assert F.conv_output_size(224, 11, 4, 2) == 55
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_output_size(2, 5, 1, 0)
+
+
+class TestPad2d:
+    def test_value_and_shape(self):
+        x = np.ones((2, 2, 1))
+        p = F.pad2d(x, 1, -1.0)
+        assert p.shape == (4, 4, 1)
+        assert p[0, 0, 0] == -1.0 and p[1, 1, 0] == 1.0
+
+    def test_zero_pad_identity(self):
+        x = RNG.normal(size=(3, 3, 2))
+        assert F.pad2d(x, 0) is x or (F.pad2d(x, 0) == x).all()
+
+    def test_batched(self):
+        x = RNG.normal(size=(2, 3, 3, 2))
+        assert F.pad2d(x, 2).shape == (2, 7, 7, 2)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            F.pad2d(np.ones((2, 2, 1)), -1)
+
+
+class TestIm2col:
+    def test_patch_order_row_col_channel(self):
+        """The flattening order must match the weight cache layout."""
+        x = np.arange(2 * 2 * 2).reshape(2, 2, 2)
+        cols = F.im2col(x, 2)
+        # single patch = whole input flattened in (row, col, channel) order
+        assert (cols[0, 0] == x.reshape(-1)).all()
+
+    def test_stride(self):
+        x = RNG.normal(size=(6, 6, 1))
+        cols = F.im2col(x, 2, stride=2)
+        assert cols.shape == (3, 3, 4)
+
+    def test_batched_shape(self):
+        x = RNG.normal(size=(4, 8, 8, 3))
+        assert F.im2col(x, 3).shape == (4, 6, 6, 27)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 0), (2, 1), (3, 2)])
+    def test_matches_naive(self, stride, pad):
+        x = RNG.normal(size=(9, 9, 3))
+        w = RNG.normal(size=(3, 3, 3, 4))
+        got = F.conv2d(x, w, stride=stride, pad=pad, pad_value=0.5)
+        assert np.allclose(got, naive_conv2d(x, w, stride, pad, 0.5))
+
+    def test_matches_scipy_single_channel(self):
+        x = RNG.normal(size=(10, 10, 1))
+        w = RNG.normal(size=(3, 3, 1, 1))
+        got = F.conv2d(x, w)[..., 0]
+        # scipy correlate2d 'valid' equals our unpadded convolution
+        ref = signal.correlate2d(x[..., 0], w[:, :, 0, 0], mode="valid")
+        assert np.allclose(got, ref)
+
+    def test_bias(self):
+        x = RNG.normal(size=(4, 4, 2))
+        w = RNG.normal(size=(1, 1, 2, 3))
+        b = np.array([1.0, -1.0, 0.5])
+        assert np.allclose(F.conv2d(x, w, bias=b), F.conv2d(x, w) + b)
+
+    def test_batched_equals_per_image(self):
+        x = RNG.normal(size=(3, 6, 6, 2))
+        w = RNG.normal(size=(3, 3, 2, 4))
+        batched = F.conv2d(x, w, pad=1)
+        for i in range(3):
+            assert np.allclose(batched[i], F.conv2d(x[i], w, pad=1))
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(np.ones((4, 4, 2)), np.ones((3, 3, 3, 1)))
+
+    def test_non_square_filter_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(np.ones((4, 4, 1)), np.ones((2, 3, 1, 1)))
+
+
+class TestPooling:
+    def test_maxpool_known(self):
+        x = np.arange(16, dtype=float).reshape(4, 4, 1)
+        out = F.maxpool2d(x, 2)
+        assert out[..., 0].tolist() == [[5, 7], [13, 15]]
+
+    def test_maxpool_stride(self):
+        x = RNG.normal(size=(6, 6, 2))
+        out = F.maxpool2d(x, 3, 2)
+        assert out.shape == (2, 2, 2)
+
+    def test_avgpool(self):
+        x = np.arange(8, dtype=float).reshape(2, 2, 2)
+        out = F.avgpool2d(x, 2)
+        assert np.allclose(out[0, 0], [(0 + 2 + 4 + 6) / 4, (1 + 3 + 5 + 7) / 4])
+
+    def test_global_avgpool(self):
+        x = RNG.normal(size=(2, 5, 5, 3))
+        out = F.global_avgpool(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, x.mean(axis=(1, 2)))
+
+
+class TestLinearSoftmax:
+    def test_linear(self):
+        x = RNG.normal(size=(4, 5))
+        w = RNG.normal(size=(5, 3))
+        assert np.allclose(F.linear(x, w), x @ w)
+
+    def test_softmax_normalises(self):
+        z = RNG.normal(size=(3, 7)) * 100
+        s = F.softmax(z)
+        assert np.allclose(s.sum(axis=-1), 1.0)
+        assert (s >= 0).all()
+
+    def test_softmax_stability(self):
+        z = np.array([[1e4, 1e4 + 1]])
+        s = F.softmax(z)
+        assert np.isfinite(s).all()
+
+    def test_log_softmax_consistent(self):
+        z = RNG.normal(size=(2, 5))
+        assert np.allclose(np.exp(F.log_softmax(z)), F.softmax(z))

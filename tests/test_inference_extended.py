@@ -1,0 +1,70 @@
+"""Extended inference-executor tests: activations, batching, robustness."""
+
+import numpy as np
+import pytest
+
+from repro.nn import input_to_levels, run_graph
+from repro.nn.inference import classify
+
+
+class TestActivationCapture:
+    def test_keep_activations(self, tiny_chain_model, tiny_chain_graph, images16):
+        lv = input_to_levels(images16[:1], tiny_chain_model.layers[0].quantizer)
+        res = run_graph(tiny_chain_graph, lv, keep_activations=True)
+        assert set(res.activations) == set(tiny_chain_graph.nodes)
+        # every captured activation respects its spec's value range
+        for name, value in res.activations.items():
+            spec = tiny_chain_graph.specs[name]
+            if spec.kind == "levels":
+                assert value.min() >= 0 and value.max() < (1 << spec.bits), name
+
+    def test_activations_empty_by_default(self, tiny_chain_model, tiny_chain_graph, images16):
+        lv = input_to_levels(images16[:1], tiny_chain_model.layers[0].quantizer)
+        assert run_graph(tiny_chain_graph, lv).activations == {}
+
+
+class TestBatching:
+    def test_single_image_equals_batch_row(self, tiny_chain_model, tiny_chain_graph, images16):
+        lv = input_to_levels(images16, tiny_chain_model.layers[0].quantizer)
+        batch = run_graph(tiny_chain_graph, lv).output
+        single = run_graph(tiny_chain_graph, lv[0]).output
+        assert (batch[0] == single).all()
+
+    def test_classify_shape(self, tiny_chain_model, tiny_chain_graph, images16):
+        lv = input_to_levels(images16, tiny_chain_model.layers[0].quantizer)
+        preds = classify(tiny_chain_graph, lv)
+        assert preds.shape == (len(images16),)
+
+    def test_deterministic(self, tiny_chain_model, tiny_chain_graph, images16):
+        lv = input_to_levels(images16, tiny_chain_model.layers[0].quantizer)
+        a = run_graph(tiny_chain_graph, lv).output
+        b = run_graph(tiny_chain_graph, lv).output
+        assert (a == b).all()
+
+
+class TestCrossBackendActivations:
+    def test_streaming_intermediate_values_match(self, tiny_chain_model, tiny_chain_graph, images16):
+        """Not just the output: every intermediate stream agrees too."""
+        from repro.dataflow import build_pipeline
+
+        lv = input_to_levels(images16[:1], tiny_chain_model.layers[0].quantizer)
+        ref = run_graph(tiny_chain_graph, lv, keep_activations=True)
+        pipeline = build_pipeline(tiny_chain_graph, lv)
+        pipeline.engine.run(lambda: pipeline.sink.done, max_cycles=10_000_000)
+        # sink output equals the final activation
+        final = ref.activations[tiny_chain_graph.output_name]
+        assert (pipeline.sink.output_tensor() == final.reshape(pipeline.sink.output_tensor().shape)).all()
+
+
+class TestInputQuantization:
+    def test_input_to_levels_range(self, tiny_chain_model, rng):
+        q = tiny_chain_model.layers[0].quantizer
+        x = rng.uniform(0, 1, size=(4, 16, 16, 3))
+        lv = input_to_levels(x, q)
+        assert lv.min() >= 0 and lv.max() < q.levels
+
+    def test_input_to_levels_monotone(self, tiny_chain_model):
+        q = tiny_chain_model.layers[0].quantizer
+        xs = np.linspace(0, 0.999, 50)
+        lv = input_to_levels(xs, q)
+        assert (np.diff(lv) >= 0).all()

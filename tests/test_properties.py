@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) for the core invariants of DESIGN.md."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quantization import (
+    BatchNormParams,
+    BitplaneTensor,
+    UniformQuantizer,
+    bitplane_gemm,
+    fold_batchnorm,
+    fold_batchnorm_sign,
+    pack_bits,
+    pack_signs,
+    unpack_bits,
+    unpack_signs,
+    xnor_popcount_gemm,
+)
+
+sign_arrays = hnp.arrays(
+    dtype=np.int8,
+    shape=st.tuples(st.integers(1, 5), st.integers(1, 200)),
+    elements=st.sampled_from([-1, 1]),
+)
+
+
+@given(sign_arrays)
+@settings(max_examples=60, deadline=None)
+def test_pack_unpack_signs_roundtrip(signs):
+    n = signs.shape[-1]
+    assert (unpack_signs(pack_signs(signs), n) == signs).all()
+
+
+@given(
+    hnp.arrays(
+        dtype=np.uint8,
+        shape=st.tuples(st.integers(1, 4), st.integers(1, 300)),
+        elements=st.integers(0, 1),
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_pack_unpack_bits_roundtrip(bits):
+    n = bits.shape[-1]
+    assert (unpack_bits(pack_bits(bits), n) == bits).all()
+
+
+@given(
+    st.integers(1, 150),
+    st.integers(1, 6),
+    st.integers(1, 6),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_xnor_gemm_equals_dense(n, o, m, seed):
+    """Invariant: XNOR-popcount == dense ±1 product, any packing length."""
+    rng = np.random.default_rng(seed)
+    w = rng.choice([-1, 1], size=(o, n))
+    x = rng.choice([-1, 1], size=(m, n))
+    assert (xnor_popcount_gemm(pack_signs(w), pack_signs(x), n) == x @ w.T).all()
+
+
+@given(
+    st.integers(1, 120),
+    st.integers(1, 5),
+    st.integers(1, 5),
+    st.integers(1, 4),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_bitplane_gemm_equals_dense(n, o, m, bits, seed):
+    """Invariant: bit-plane AND-popcount == dense binary-weight x n-bit gemm."""
+    rng = np.random.default_rng(seed)
+    w = rng.choice([-1, 1], size=(o, n))
+    x = rng.integers(0, 1 << bits, size=(m, n))
+    bt = BitplaneTensor.from_levels(x, bits)
+    assert (bitplane_gemm(pack_signs(w), list(bt.planes)) == x @ w.T).all()
+
+
+@given(
+    st.integers(1, 4),
+    st.integers(1, 8),
+    st.floats(0.05, 3.0),
+    st.floats(-2.0, 2.0),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_threshold_fold_equals_reference(bits, channels, d, lo, seed):
+    """Invariant: the folded threshold unit == quantize(BatchNorm(x)) for any
+    valid Θk including negative γ and any range anchor."""
+    rng = np.random.default_rng(seed)
+    params = BatchNormParams.from_moments(
+        gamma=rng.uniform(0.2, 2.0, channels) * rng.choice([-1.0, 1.0], channels),
+        beta=rng.normal(0, 1, channels),
+        running_mean=rng.normal(0, 2, channels),
+        running_var=rng.uniform(0.2, 3.0, channels),
+    )
+    q = UniformQuantizer(bits=bits, lo=lo, d=d)
+    unit = fold_batchnorm(params, q)
+    a = rng.normal(0, 4, size=(30, channels))
+    assert (unit.apply(a) == q.quantize_level(params.apply(a))).all()
+
+
+@given(st.integers(1, 8), st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_sign_fold_equals_reference(channels, seed):
+    rng = np.random.default_rng(seed)
+    params = BatchNormParams.from_moments(
+        gamma=rng.uniform(0.2, 2.0, channels) * rng.choice([-1.0, 1.0], channels),
+        beta=rng.normal(0, 1, channels),
+        running_mean=rng.normal(0, 2, channels),
+        running_var=rng.uniform(0.2, 3.0, channels),
+    )
+    unit = fold_batchnorm_sign(params)
+    a = rng.normal(0, 4, size=(25, channels))
+    assert (unit.apply(a) == (params.apply(a) >= 0)).all()
+
+
+@given(
+    st.integers(3, 10),
+    st.integers(1, 3),
+    st.integers(1, 4),
+    st.integers(2, 3),
+    st.integers(1, 2),
+    st.booleans(),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_streaming_conv_equals_functional(size, in_ch, out_ch, k, stride, padded, seed):
+    """Invariant: the cycle-driven conv kernel is bit-exact with the node."""
+    from repro.dataflow import Engine, Stream
+    from repro.kernels import ConvKernel
+    from repro.models import random_threshold_unit
+    from repro.nn.graph import ConvNode, TensorSpec
+    from tests.test_streaming_kernels import _RawSink, _RawSource
+
+    rng = np.random.default_rng(seed)
+    pad = 1 if padded else 0
+    if size + 2 * pad < k:
+        return
+    weights = (rng.integers(0, 2, size=(k, k, in_ch, out_ch)) * 2 - 1).astype(np.int8)
+    node = ConvNode("c", weights, stride=stride, pad=pad,
+                    threshold=random_threshold_unit(rng, out_ch, 2))
+    in_spec = TensorSpec(size, size, in_ch, "levels", 2)
+    try:
+        out_spec = node.infer([in_spec])
+    except ValueError:
+        return  # geometry collapses; nothing to test
+    x = rng.integers(0, 4, size=(size, size, in_ch))
+
+    eng = Engine()
+    src = _RawSource("src", x.reshape(-1))
+    kernel = ConvKernel("c", node, in_spec)
+    sink = _RawSink("sink", out_spec.elements)
+    for kk in (src, kernel, sink):
+        eng.add_kernel(kk)
+    eng.connect(src, kernel, Stream("a", capacity=8))
+    eng.connect(kernel, sink, Stream("b", capacity=8))
+    eng.run(lambda: sink.done, max_cycles=500_000)
+    got = np.array(sink.received).reshape(node.compute([x]).shape)
+    assert (got == node.compute([x])).all()
+
+
+@given(st.integers(2, 64), st.integers(1, 64), st.integers(1, 7))
+@settings(max_examples=60, deadline=None)
+def test_depth_first_buffer_smaller(line, channels, k):
+    """Invariant: depth-first scanning needs less buffer whenever W > K."""
+    from repro.dataflow import depth_first_buffer_elements, width_first_buffer_elements
+
+    if line <= k or channels < 2:
+        return
+    assert depth_first_buffer_elements(line, channels, k) <= width_first_buffer_elements(
+        line, line, channels, k
+    )
+
+
+@given(
+    st.floats(0.01, 10.0),
+    st.floats(-5.0, 5.0),
+    st.integers(1, 16),
+    st.integers(0, 2**32 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_affine_roundtrip(scale, offset, channels, seed):
+    """Invariant: the exporter affine maps integers to floats linearly."""
+    from repro.nn.graph import Affine
+
+    rng = np.random.default_rng(seed)
+    ints = rng.integers(-100, 100, size=(10, channels))
+    a = Affine(scale=scale, offset=offset)
+    floats = a.apply(ints)
+    assert np.allclose((floats - offset) / scale, ints)
+
+
+@given(st.integers(1, 3), st.integers(0, 2**32 - 1))
+@settings(max_examples=10, deadline=None)
+def test_export_bit_exactness_random_models(width_idx, seed):
+    """Invariant: exported integer graphs agree with float eval models."""
+    from repro.models import build_vgg_like, randomize_batchnorm
+    from repro.nn import Tensor, export_model, input_to_levels, run_graph
+
+    rng = np.random.default_rng(seed)
+    width = [0.03125, 0.0625, 0.09][width_idx - 1]
+    model = build_vgg_like(input_size=8, width=width, classes=3, seed=seed % 1000)
+    randomize_batchnorm(model, rng)
+    model.eval()
+    graph = export_model(model, (8, 8, 3))
+    x = rng.uniform(0, 1, size=(2, 8, 8, 3))
+    levels = input_to_levels(x, model.layers[0].quantizer)
+    got = run_graph(graph, levels).logits(graph)
+    ref = model(Tensor(x)).data
+    assert np.allclose(got, ref, atol=1e-9)
