@@ -1,27 +1,45 @@
 """Cycle-simulator benchmarks: end-to-end streaming inference throughput.
 
 Times the cycle-accurate simulation itself (simulated-cycles per wall
-second) on the tiny networks used across the test suite, and records the
-architectural quantities the paper cares about: latency, steady-state
-interval, and pipeline overlap.
+second) on the tiny networks used across the test suite plus a paper-scale
+CIFAR-10 VGG case, and records the architectural quantities the paper cares
+about: latency, steady-state interval, and pipeline overlap.  Every case
+feeds the perf-regression trajectory in ``BENCH_streaming.json`` through
+:mod:`benchmarks.perf_trajectory`.
 """
 
 import numpy as np
 
+from benchmarks.perf_trajectory import record
 from repro.dataflow import simulate
+from repro.models import build_vgg_like, randomize_batchnorm
 from repro.nn import input_to_levels
 from repro.nn.export import export_model
 from tests.conftest import make_tiny_chain_model, make_tiny_resnet_model
+
+
+def _note_throughput(benchmark, case, sr, **extra):
+    """Record cycles/sec + interval into extra_info and the trajectory."""
+    seconds = benchmark.stats.stats.min
+    benchmark.extra_info["latency_cycles"] = sr.latency_cycles
+    # The interval needs two completed images; single-image cases record None.
+    interval = (
+        sr.steady_state_interval if len(sr.run.completion_cycles) >= 2 else None
+    )
+    benchmark.extra_info["steady_state_interval"] = interval
+    benchmark.extra_info["simulated_cycles"] = sr.cycles
+    benchmark.extra_info["simulated_cycles_per_second"] = round(sr.cycles / seconds, 1)
+    record(case, sr.cycles, seconds, **extra)
 
 
 def test_streaming_chain_simulation(benchmark):
     model = make_tiny_chain_model()
     graph = export_model(model, (16, 16, 3), name="tiny-chain")
     rng = np.random.default_rng(0)
-    levels = input_to_levels(rng.uniform(0, 1, (1, 16, 16, 3)), model.layers[0].quantizer)
+    levels = input_to_levels(rng.uniform(0, 1, (2, 16, 16, 3)), model.layers[0].quantizer)
 
     sr = benchmark(simulate, graph, levels)
-    benchmark.extra_info["latency_cycles"] = sr.latency_cycles
+    _note_throughput(benchmark, "tiny_chain", sr)
     assert sr.cycles > 0
 
 
@@ -29,10 +47,37 @@ def test_streaming_residual_simulation(benchmark):
     model = make_tiny_resnet_model()
     graph = export_model(model, (16, 16, 3), name="tiny-resnet")
     rng = np.random.default_rng(1)
-    levels = input_to_levels(rng.uniform(0, 1, (1, 16, 16, 3)), model.layers[0].quantizer)
+    levels = input_to_levels(rng.uniform(0, 1, (2, 16, 16, 3)), model.layers[0].quantizer)
 
     sr = benchmark(simulate, graph, levels)
-    benchmark.extra_info["latency_cycles"] = sr.latency_cycles
+    _note_throughput(benchmark, "tiny_resnet", sr)
+    assert sr.cycles > 0
+
+
+def _vgg_paper_scale():
+    """A 32x32 CIFAR-10 VGG slice at quarter width — the paper-scale case."""
+    model = build_vgg_like(input_size=32, width=0.25, classes=10, seed=11)
+    randomize_batchnorm(model, np.random.default_rng(11))
+    graph = export_model(model, (32, 32, 3), name="vgg-paper-scale")
+    rng = np.random.default_rng(7)
+    levels = input_to_levels(rng.uniform(0, 1, (1, 32, 32, 3)), model.layers[0].quantizer)
+    return graph, levels
+
+
+def test_streaming_vgg_paper_scale(benchmark):
+    graph, levels = _vgg_paper_scale()
+
+    sr = benchmark(simulate, graph, levels)
+    _note_throughput(benchmark, "vgg32_dense", sr)
+    assert sr.cycles > 0
+
+
+def test_streaming_vgg_paper_scale_bitops(benchmark):
+    """Same workload through the packed XNOR-popcount datapath (§III-B1)."""
+    graph, levels = _vgg_paper_scale()
+
+    sr = benchmark(simulate, graph, levels, use_bitops=True)
+    _note_throughput(benchmark, "vgg32_bitops", sr)
     assert sr.cycles > 0
 
 

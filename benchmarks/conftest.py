@@ -21,3 +21,10 @@ def report(benchmark, result) -> None:
 @pytest.fixture()
 def reporter():
     return report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush the simulator perf trajectory recorded by bench_streaming_sim."""
+    from benchmarks.perf_trajectory import flush
+
+    flush()

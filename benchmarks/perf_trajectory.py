@@ -1,0 +1,75 @@
+"""Perf-regression trajectory for the cycle simulator.
+
+Streaming-simulator benchmarks call :func:`record` with the simulated cycle
+count and the best wall time per round; at session end the benchmark
+``conftest`` flushes one trajectory entry (git revision, environment, and
+per-case ``simulated_cycles_per_second``) to ``BENCH_streaming.json`` at the
+repository root.  The file is an append-only list, so plotting it over
+commits shows whether a PR sped up or regressed the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["BENCH_PATH", "record", "flush"]
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+
+_cases: dict[str, dict[str, Any]] = {}
+
+
+def _git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def record(case: str, simulated_cycles: int, seconds: float, **extra: Any) -> None:
+    """Register one benchmark case's throughput for the trajectory entry."""
+    _cases[case] = {
+        "simulated_cycles": int(simulated_cycles),
+        "seconds": float(seconds),
+        "simulated_cycles_per_second": round(simulated_cycles / seconds, 1),
+        **extra,
+    }
+
+
+def flush() -> None:
+    """Append the session's cases to ``BENCH_streaming.json`` (if any ran)."""
+    if not _cases:
+        return
+    entries: list[dict[str, Any]] = []
+    if BENCH_PATH.exists():
+        try:
+            entries = json.loads(BENCH_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            entries = []
+    entries.append(
+        {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "revision": _git_revision(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cases": dict(sorted(_cases.items())),
+        }
+    )
+    BENCH_PATH.write_text(json.dumps(entries, indent=2) + "\n")
+    _cases.clear()

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .kernel import Kernel, KernelStats
+from .kernel import STALL_BLOCKED, STALL_IDLE, STALL_STARVED, WAKE_NEVER, Kernel, KernelStats
 from .stream import Stream, StreamStats
 
 __all__ = ["Engine", "RunResult"]
@@ -91,10 +91,27 @@ class Engine:
         self.add_stream(stream)
         producer.connect_output(stream)
         consumer.connect_input(stream)
+        stream.writer = producer
+        stream.reader = consumer
         return stream
 
-    def run(self, done: callable, max_cycles: int = 50_000_000) -> int:
-        """Tick all kernels until ``done()`` is true; returns the cycle count."""
+    def run(self, done: callable, max_cycles: int = 50_000_000, fast: bool = True) -> int:
+        """Tick kernels until ``done()`` is true; returns the cycle count.
+
+        ``fast=True`` (the default) runs the runnable-set scheduler: kernels
+        that report a stall (starved / blocked / idle) are parked and woken
+        by stream push/pop events, with the skipped cycles bulk-accounted so
+        every counter matches the exhaustive loop bit for bit.  When no
+        kernel is runnable the engine fast-forwards straight to the next
+        scheduled wake-up.  ``fast=False`` keeps the original
+        tick-everything loop as the executable reference semantics.
+        """
+        if fast:
+            return self._run_fast(done, max_cycles)
+        return self._run_exhaustive(done, max_cycles)
+
+    def _run_exhaustive(self, done: callable, max_cycles: int) -> int:
+        """The reference loop: every kernel ticks every cycle."""
         cycle = 0
         kernels = self.kernels
         while not done():
@@ -107,6 +124,121 @@ class Engine:
                     "(deadlock or undersized run budget)"
                 )
         return cycle
+
+    # -- fast path -------------------------------------------------------
+    #
+    # Invariants that make event-skipping exact (see DESIGN.md):
+    #
+    # * A kernel that reported STARVED cannot unstall until an input stream
+    #   gains a ready element — either a pending element's ready cycle
+    #   passes (timed wake scheduled at park time) or a new push arrives
+    #   (push hook fires with the exact ready cycle).
+    # * A kernel that reported BLOCKED cannot unstall until an output pop
+    #   frees space (pop hook).
+    # * An IDLE kernel (host endpoints after their data is exhausted) never
+    #   unstalls; its idle cycles are settled when the run ends.
+    # * Stall ticks are side-effect-free except for their counters: one
+    #   stall counter per cycle, plus one ``full_rejections`` per cycle on
+    #   ``outputs[0]`` for kernels whose blocked tick attempts a push
+    #   (``blocked_rejects_output``).  Parked cycles replay exactly those
+    #   increments, so stats are bit-identical to the exhaustive loop.
+    # * Kernels whose tick reports no classification are never parked and
+    #   tick every cycle, so arbitrary user kernels degrade to the
+    #   exhaustive semantics rather than to wrong schedules.
+
+    def _run_fast(self, done: callable, max_cycles: int) -> int:
+        kernels = self.kernels
+        for kernel in kernels:
+            kernel._parked = False
+            kernel._wake_at = WAKE_NEVER
+        n = len(kernels)
+        n_parked = 0
+        cycle = 0
+        while not done():
+            if n_parked == n:
+                # Nothing runnable: fast-forward straight to the earliest
+                # wake-up (pending stream latency, usually a link in flight).
+                target = min(k._wake_at for k in kernels)
+                if target >= max_cycles:
+                    self._settle(max_cycles)
+                cycle = target
+            for kernel in kernels:
+                if kernel._parked:
+                    if kernel._wake_at > cycle:
+                        continue
+                    # Wake: replay the stall counters for the skipped cycles.
+                    skipped = cycle - kernel._park_cycle - 1
+                    if skipped > 0:
+                        self._account(kernel, skipped)
+                    kernel._parked = False
+                    kernel._wake_at = WAKE_NEVER
+                    n_parked -= 1
+                status = kernel.tick(cycle)
+                if status is not None:
+                    kernel._parked = True
+                    kernel._park_cycle = cycle
+                    kernel._park_kind = status
+                    n_parked += 1
+                    if status == STALL_STARVED:
+                        # Timed wake at the earliest not-yet-ready input
+                        # element; inputs that are already ready cannot
+                        # change this kernel's state (only a new push on
+                        # another input can, via the push hook).
+                        best = WAKE_NEVER
+                        for stream in kernel.inputs:
+                            fifo = stream._fifo
+                            if fifo:
+                                ready = fifo[0][1]
+                                if cycle < ready < best:
+                                    best = ready
+                        kernel._wake_at = best
+                    elif status == STALL_BLOCKED:
+                        # Defensive: with a non-topological tick order a
+                        # consumer may pop before this kernel ticks; re-check
+                        # next cycle if space already exists.
+                        if all(s.can_push() for s in kernel.outputs):
+                            kernel._wake_at = cycle + 1
+                    # STALL_IDLE kernels never wake; settled at end of run.
+            cycle += 1
+            if cycle >= max_cycles:
+                self._settle(max_cycles)
+        # The exhaustive loop ticked still-parked kernels through the final
+        # cycle (cycle - 1); settle their stall counters to match.
+        for kernel in kernels:
+            if kernel._parked:
+                skipped = cycle - kernel._park_cycle - 1
+                if skipped > 0:
+                    self._account(kernel, skipped)
+                kernel._parked = False
+                kernel._wake_at = WAKE_NEVER
+        return cycle
+
+    def _settle(self, max_cycles: int) -> None:
+        """Account parked kernels up to ``max_cycles`` and raise (no convergence)."""
+        for kernel in self.kernels:
+            if kernel._parked:
+                skipped = max_cycles - kernel._park_cycle - 1
+                if skipped > 0:
+                    self._account(kernel, skipped)
+                kernel._parked = False
+                kernel._wake_at = WAKE_NEVER
+        raise RuntimeError(
+            f"engine {self.name!r}: no convergence after {max_cycles} cycles "
+            "(deadlock or undersized run budget)"
+        )
+
+    def _account(self, kernel: Kernel, skipped: int) -> None:
+        """Replay ``skipped`` stall cycles' worth of counters on a parked kernel."""
+        stats = kernel.stats
+        kind = kernel._park_kind
+        if kind == STALL_STARVED:
+            stats.input_starved_cycles += skipped
+        elif kind == STALL_BLOCKED:
+            stats.output_blocked_cycles += skipped
+            if kernel.blocked_rejects_output:
+                kernel.outputs[0].stats.full_rejections += skipped
+        else:
+            stats.idle_cycles += skipped
 
     def reset(self) -> None:
         for kernel in self.kernels:

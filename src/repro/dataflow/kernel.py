@@ -20,10 +20,23 @@ from dataclasses import dataclass, field
 
 from .stream import Stream
 
-__all__ = ["Kernel", "KernelStats"]
+__all__ = ["Kernel", "KernelStats", "STALL_STARVED", "STALL_BLOCKED", "STALL_IDLE", "WAKE_NEVER"]
+
+# Stall classifications a tick reports through the helpers below.  The fast
+# engine path uses them to park a kernel: a kernel that reported a stall is
+# guaranteed (by the kernel contract) to keep stalling the same way every
+# cycle until one of its streams changes state, so the scheduler can stop
+# ticking it and bulk-account the skipped cycles on wake-up.
+STALL_STARVED = 1
+STALL_BLOCKED = 2
+STALL_IDLE = 3
+
+# Wake cycle of a parked kernel with no scheduled wake-up (it can only be
+# woken by a stream push/pop hook, or settled when the run ends).
+WAKE_NEVER = 1 << 62
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelStats:
     """Per-kernel activity counters."""
 
@@ -46,11 +59,24 @@ class KernelStats:
 class Kernel:
     """Base dataflow kernel."""
 
+    # True for kernels whose blocked cycles attempt a push (and therefore
+    # count a full_rejection on outputs[0] every blocked cycle); the fast
+    # scheduler replays those rejections for parked cycles.
+    blocked_rejects_output = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.inputs: list[Stream] = []
         self.outputs: list[Stream] = []
         self.stats = KernelStats()
+        # Fast-scheduler park bookkeeping.  A tick reports its stall kind by
+        # returning one of the STALL_* codes (via the helpers below); a tick
+        # returning None made progress or gave no classification — such
+        # kernels are never parked.
+        self._parked = False
+        self._park_cycle = 0
+        self._park_kind = 0
+        self._wake_at = WAKE_NEVER
 
     def connect_input(self, stream: Stream) -> None:
         self.inputs.append(stream)
@@ -58,23 +84,32 @@ class Kernel:
     def connect_output(self, stream: Stream) -> None:
         self.outputs.append(stream)
 
-    def tick(self, cycle: int) -> None:  # pragma: no cover - abstract
-        """Advance one clock cycle."""
+    def tick(self, cycle: int) -> int | None:  # pragma: no cover - abstract
+        """Advance one clock cycle; return a STALL_* code when stalled."""
         raise NotImplementedError
 
     def reset(self) -> None:
         """Clear run state (image-independent parameters persist)."""
         self.stats = KernelStats()
+        self._parked = False
+        self._park_cycle = 0
+        self._park_kind = 0
+        self._wake_at = WAKE_NEVER
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
 
     # convenience helpers ------------------------------------------------
-    def _starved(self, cycle: int) -> None:
+    # Each counts one live stall cycle and returns the classification so a
+    # tick can report it with ``return self._starved(cycle)``.
+    def _starved(self, cycle: int) -> int:
         self.stats.input_starved_cycles += 1
+        return STALL_STARVED
 
-    def _blocked(self, cycle: int) -> None:
+    def _blocked(self, cycle: int) -> int:
         self.stats.output_blocked_cycles += 1
+        return STALL_BLOCKED
 
-    def _idle(self, cycle: int) -> None:
+    def _idle(self, cycle: int) -> int:
         self.stats.idle_cycles += 1
+        return STALL_IDLE

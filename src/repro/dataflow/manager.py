@@ -300,17 +300,21 @@ def simulate(
     link: LinkSpec = MAXRING,
     fclk_mhz: float = 105.0,
     max_cycles: int = 50_000_000,
+    fast: bool = True,
 ) -> StreamingRun:
     """Cycle-accurately stream ``images`` through ``graph``.
 
     Returns the reassembled integer outputs together with latency and
     throughput measurements; the outputs are bit-exact with
-    :func:`repro.nn.inference.run_graph` (tested property).
+    :func:`repro.nn.inference.run_graph` (tested property).  ``fast``
+    selects the event-driven scheduler (default) or the exhaustive
+    tick-everything reference loop; both produce identical results and
+    statistics (tested property).
     """
     pipeline = build_pipeline(
         graph, images, use_bitops=use_bitops, partition=partition, link=link, fclk_mhz=fclk_mhz
     )
-    cycles = pipeline.engine.run(lambda: pipeline.sink.done, max_cycles=max_cycles)
+    cycles = pipeline.engine.run(lambda: pipeline.sink.done, max_cycles=max_cycles, fast=fast)
     kstats, sstats = pipeline.engine.collect_stats()
     run = RunResult(
         cycles=cycles,

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 __all__ = ["Stream", "StreamStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamStats:
     """Counters a stream accumulates over a run."""
 
@@ -44,7 +44,16 @@ class Stream:
         Width of one element in bits; used by link-bandwidth accounting.
     """
 
-    __slots__ = ("name", "capacity", "latency", "bits", "_fifo", "stats")
+    __slots__ = (
+        "name",
+        "capacity",
+        "latency",
+        "bits",
+        "_fifo",
+        "stats",
+        "reader",
+        "writer",
+    )
 
     def __init__(self, name: str, capacity: int = 4, latency: int = 0, bits: int = 2) -> None:
         if capacity < 1:
@@ -57,6 +66,10 @@ class Stream:
         self.bits = bits
         self._fifo: deque[tuple[int, int]] = deque()  # (value, ready_cycle)
         self.stats = StreamStats()
+        # Endpoint kernels (set by Engine.connect).  push/pop wake parked
+        # endpoints directly (see the fast-path invariants in engine.py).
+        self.reader = None
+        self.writer = None
 
     def __repr__(self) -> str:
         return f"Stream({self.name!r}, occ={len(self._fifo)}/{self.capacity})"
@@ -70,13 +83,26 @@ class Stream:
 
     def push(self, value: int, cycle: int) -> bool:
         """Append ``value``; returns False (and counts a rejection) when full."""
-        if len(self._fifo) >= self.capacity:
-            self.stats.full_rejections += 1
+        fifo = self._fifo
+        stats = self.stats
+        occ = len(fifo)
+        if occ >= self.capacity:
+            stats.full_rejections += 1
             return False
-        self._fifo.append((int(value), cycle + 1 + self.latency))
-        self.stats.pushes += 1
-        if len(self._fifo) > self.stats.max_occupancy:
-            self.stats.max_occupancy = len(self._fifo)
+        ready = cycle + 1 + self.latency
+        fifo.append((int(value), ready))
+        stats.pushes += 1
+        if occ >= stats.max_occupancy:
+            stats.max_occupancy = occ + 1
+        if not occ:
+            # Only an empty->nonempty transition can unstarve the reader; a
+            # push behind existing elements is covered by the wake already
+            # scheduled for the head element.  (1 == STALL_STARVED; literal
+            # to avoid a circular import with kernel.py.)
+            reader = self.reader
+            if reader is not None and reader._parked and reader._park_kind == 1:
+                if ready < reader._wake_at:
+                    reader._wake_at = ready
         return True
 
     def can_pop(self, cycle: int) -> bool:
@@ -94,11 +120,29 @@ class Stream:
 
     def pop(self, cycle: int) -> int:
         """Remove and return the head element; caller must check :meth:`can_pop`."""
-        if not self.can_pop(cycle):
+        fifo = self._fifo
+        if not (fifo and fifo[0][1] <= cycle):
             raise RuntimeError(f"stream {self.name!r}: pop on empty/unready stream")
-        value, _ = self._fifo.popleft()
+        was_full = len(fifo) >= self.capacity
+        value, _ = fifo.popleft()
         self.stats.pops += 1
+        if was_full:
+            # Only a full->nonfull transition can unblock the writer.  Wake
+            # at this very cycle: if the writer's slot in the engine sweep is
+            # still ahead it reruns this cycle (non-topological order);
+            # otherwise the <= comparison lands it on the next cycle, which
+            # matches the exhaustive loop (the writer already ticked blocked
+            # this cycle before the pop).  (2 == STALL_BLOCKED.)
+            writer = self.writer
+            if writer is not None and writer._parked and writer._park_kind == 2:
+                if cycle < writer._wake_at:
+                    writer._wake_at = cycle
         return value
+
+    def head_ready_cycle(self) -> int | None:
+        """Ready cycle of the head element, or None when empty."""
+        fifo = self._fifo
+        return fifo[0][1] if fifo else None
 
     def peek(self, cycle: int) -> int:
         if not self.can_pop(cycle):

@@ -80,22 +80,29 @@ class ScanWindow:
         # Full-grid backing store: behaviourally identical to the K-line
         # shift register, while keeping window extraction a cheap slice.
         self._grid = np.zeros((height, width, channels), dtype=np.int64)
+        self._flat = self._grid.reshape(-1)
+        self._total = height * width * channels
+        self._km1 = k - 1
         self._pos = 0  # linear element position: ((r * width) + c) * I + i
+        # Scan coordinates maintained incrementally (hot path: one feed per
+        # simulated cycle; divmod per element is measurably expensive).
+        self._r = 0
+        self._c = 0
+        self._i = 0
+        self._pixel = 0  # r * width + c
 
     @property
     def total_elements(self) -> int:
-        return self.height * self.width * self.channels
+        return self._total
 
     @property
     def position(self) -> tuple[int, int, int]:
         """Current (row, col, channel) about to be written."""
-        pixel, i = divmod(self._pos, self.channels)
-        r, c = divmod(pixel, self.width)
-        return r, c, i
+        return self._r, self._c, self._i
 
     @property
     def done(self) -> bool:
-        return self._pos >= self.total_elements
+        return self._pos >= self._total
 
     def hardware_buffer_elements(self) -> int:
         """The flip-flop footprint the real shift register would need."""
@@ -108,16 +115,38 @@ class ScanWindow:
         bottom-right pixel of the completed K x K window and ``window`` has
         shape ``(K, K, I)``, or ``None`` when no window completes.
         """
-        if self.done:
+        pos = self._pos
+        if pos >= self._total:
             raise RuntimeError("ScanWindow overfed; reset before the next image")
-        r, c, i = self.position
-        self._grid[r, c, i] = value
-        self._pos += 1
-        if i == self.channels - 1 and r >= self.k - 1 and c >= self.k - 1:
-            window = self._grid[r - self.k + 1 : r + 1, c - self.k + 1 : c + 1, :]
-            return r, c, window
-        return None
+        self._flat[pos] = value
+        self._pos = pos + 1
+        i = self._i
+        if i + 1 < self.channels:
+            self._i = i + 1
+            return None
+        # Last channel of the pixel: the window (if any) completes here,
+        # then the scan advances to the next pixel.
+        self._i = 0
+        r = self._r
+        c = self._c
+        km1 = self._km1
+        if r >= km1 and c >= km1:
+            window = self._grid[r - km1 : r + 1, c - km1 : c + 1, :]
+            completed = (r, c, window)
+        else:
+            completed = None
+        if c + 1 < self.width:
+            self._c = c + 1
+        else:
+            self._c = 0
+            self._r = r + 1
+        self._pixel += 1
+        return completed
 
     def reset(self) -> None:
         self._pos = 0
+        self._r = 0
+        self._c = 0
+        self._i = 0
+        self._pixel = 0
         self._grid.fill(0)

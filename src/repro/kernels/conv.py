@@ -51,6 +51,8 @@ class ConvKernel(Kernel):
         NumPy, faithful to the hardware datapath.
     """
 
+    blocked_rejects_output = True
+
     def __init__(
         self, name: str, node: ConvNode, in_spec: TensorSpec, use_bitops: bool = False
     ) -> None:
@@ -66,9 +68,49 @@ class ConvKernel(Kernel):
         self.out_channels = node.out_channels
         self.use_bitops = use_bitops
         self._wmat = node.weights.reshape(-1, node.out_channels).astype(np.int64)
+        # Float64 weight matrix routes the per-window GEMM through BLAS; all
+        # magnitudes stay far below 2**53, so the product is exact.
+        self._wmat_f = self._wmat.astype(np.float64)
+        # Bitops operands hoisted out of the per-position path: the packed
+        # weight words, activation bit width, and a reusable plane-packing
+        # buffer sized to the window vector (tail bits stay zero).
+        self._in_bits = in_spec.bits
+        if use_bitops:
+            self._packed_words = node.packed_weights().words
+            n_taps = self.k * self.k * self.channels
+            n_words = (n_taps + 63) // 64
+            self._pack_buf = np.zeros((self._in_bits, n_words * 64), dtype=np.uint8)
+            self._plane_shifts = np.arange(self._in_bits, dtype=np.int64)[:, None]
+        else:
+            self._packed_words = None
+        # Fused-threshold tables, precomputed once (the paper's
+        # normalization cache): per-output-channel endpoints, slope signs
+        # and constant levels for the vectorized comparison cascade.
+        if node.threshold is not None:
+            unit = node.threshold
+            ends = unit.endpoints()  # (O, 2**n - 1)
+            sign = np.asarray(unit.slope_sign)
+            # Fold the slope sign into the endpoints so one >= comparison
+            # covers both polarities: count(acc <= e) == count(-acc >= -e).
+            sv = np.where(sign < 0, -1.0, 1.0)
+            self._th_ends = ends * sv[:, None]
+            self._th_sv = sv
+            self._th_is_const = sign == 0
+            self._th_const = np.asarray(unit.const_level)
+        else:
+            self._th_ends = None
         self._window = ScanWindow(self.hp, self.wp, self.channels, self.k)
         self._pending: deque[int] = deque()
         self.images_done = 0
+        self._pad_value = int(node.pad_level)
+        # Per-pixel geometry tables: padding membership and emit validity,
+        # indexed by the scan pixel ``r * wp + c``.
+        self._pad_px = [
+            self._is_pad(r, c) for r in range(self.hp) for c in range(self.wp)
+        ]
+        self._valid_px = [
+            self._is_valid_position(r, c) for r in range(self.hp) for c in range(self.wp)
+        ]
         # Parameter-fetch cost (paper: weights + normalization parameters are
         # streamed in depth-first once, before inference starts).
         self.param_load_cycles = node.weight_count // max(1, self.k * self.k * self.channels) + (
@@ -101,59 +143,96 @@ class ConvKernel(Kernel):
 
     # -- per-position math ----------------------------------------------
     def _compute_outputs(self, window: np.ndarray) -> list[int]:
-        vec = window.reshape(-1)
+        """All ``O`` filter outputs of one completed window, as one batch.
+
+        One GEMM (or one bitplane GEMM in bitops mode) plus one vectorized
+        threshold pass replaces the per-filter loop; the results are then
+        replayed onto the output stream one element per clock, so cycle
+        accounting is untouched.
+        """
         if self.use_bitops:
-            acc = self._accumulate_bitpacked(vec)
+            acc = self._accumulate_bitpacked(window.reshape(-1))
+            acc_f = acc.astype(np.float64)
         else:
-            acc = vec @ self._wmat
-        if self.node.threshold is not None:
-            acc = self.node.threshold.apply(acc.astype(np.float64), channel_axis=-1)
-        return [int(v) for v in acc]
+            acc_f = window.reshape(-1).astype(np.float64) @ self._wmat_f
+        ends = self._th_ends
+        if ends is None:
+            return acc_f.astype(np.int64).tolist()
+        # Vectorized equivalent of ThresholdUnit.apply for a (O,) vector:
+        # the level is the count of sign-folded endpoints at-or-below the
+        # accumulator, constant level where the slope is zero.
+        out = ((acc_f * self._th_sv)[:, None] >= ends).sum(axis=-1, dtype=np.int64)
+        out = np.where(self._th_is_const, self._th_const, out)
+        return out.tolist()
 
     def _accumulate_bitpacked(self, vec: np.ndarray) -> np.ndarray:
-        from ..quantization.bitops import bitplane_gemm, pack_bitplanes
+        """One AND-popcount GEMM for a single window vector.
 
-        planes = pack_bitplanes(vec[None, :], self.in_spec.bits)
-        return bitplane_gemm(self.node.packed_weights().words, planes)[0]
+        Equivalent to ``bitplane_gemm(packed_weights, pack_bitplanes(vec))``
+        but packs into a reusable buffer and skips the (1, O, W) broadcast
+        shape, since the conv hot loop always computes one position.
+        """
+        buf = self._pack_buf
+        buf[:, : vec.shape[0]] = (vec >> self._plane_shifts) & 1
+        planes = np.packbits(buf, axis=-1, bitorder="little").view(np.uint64)
+        w_words = self._packed_words
+        acc = None
+        for b in range(self._in_bits):
+            plane = planes[b]
+            and_pc = np.bitwise_count(w_words & plane).sum(axis=-1, dtype=np.int64)
+            mask_pc = int(np.bitwise_count(plane).sum())
+            term = (2 * and_pc - mask_pc) << b
+            acc = term if acc is None else acc + term
+        return acc
 
     # -- cycle behaviour --------------------------------------------------
     def tick(self, cycle: int) -> None:
-        out = self.outputs[0]
-        if self._pending:
+        pending = self._pending
+        if pending:
             # Emit phase: input halted, one output pixel (channel) per clock.
-            if out.push(self._pending[0], cycle):
-                self._pending.popleft()
-                self.stats.mark_active(cycle)
-                self.stats.elements_out += 1
-                if not self._pending and self._window.done:
+            if self.outputs[0].push(pending[0], cycle):
+                pending.popleft()
+                stats = self.stats
+                stats.active_cycles += 1
+                if stats.first_active_cycle is None:
+                    stats.first_active_cycle = cycle
+                stats.last_active_cycle = cycle
+                stats.elements_out += 1
+                window = self._window
+                if not pending and window._pos >= window._total:
                     self._finish_image()
-            else:
-                self._blocked(cycle)
-            return
+                return None
+            return self._blocked(cycle)
 
-        if self._window.done:
+        window = self._window
+        if window._pos >= window._total:
             self._finish_image()
 
-        r, c, _ = self._window.position
-        if self._is_pad(r, c):
-            self._feed(self.node.pad_level, cycle)
+        if self._pad_px[window._pixel]:
+            self._feed(self._pad_value, cycle)
             return
         inp = self.inputs[0]
-        if inp.can_pop(cycle):
+        fifo = inp._fifo
+        if fifo and fifo[0][1] <= cycle:
             value = inp.pop(cycle)
             self.stats.elements_in += 1
             self._feed(value, cycle)
         else:
-            self._starved(cycle)
+            return self._starved(cycle)
 
     def _feed(self, value: int, cycle: int) -> None:
-        completed = self._window.feed(value)
-        self.stats.mark_active(cycle)
+        window = self._window
+        completed = window.feed(value)
+        stats = self.stats
+        stats.active_cycles += 1
+        if stats.first_active_cycle is None:
+            stats.first_active_cycle = cycle
+        stats.last_active_cycle = cycle
         if completed is not None:
-            r, c, window = completed
-            if self._is_valid_position(r, c):
-                self._pending.extend(self._compute_outputs(window))
-        if self._window.done and not self._pending:
+            r, c, win = completed
+            if self._valid_px[r * self.wp + c]:
+                self._pending.extend(self._compute_outputs(win))
+        if window._pos >= window._total and not self._pending:
             self._finish_image()
 
     def _finish_image(self) -> None:

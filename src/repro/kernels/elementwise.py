@@ -33,19 +33,22 @@ class AddKernel(Kernel):
 
     def tick(self, cycle: int) -> None:
         a, b = self.inputs
+        fa, fb = a._fifo, b._fifo
+        if not (fa and fa[0][1] <= cycle and fb and fb[0][1] <= cycle):
+            return self._starved(cycle)
         out = self.outputs[0]
-        if not (a.can_pop(cycle) and b.can_pop(cycle)):
-            self._starved(cycle)
-            return
-        if not out.can_push():
-            self._blocked(cycle)
-            return
+        if len(out._fifo) >= out.capacity:
+            return self._blocked(cycle)
         va = a.pop(cycle)
         vb = b.pop(cycle)
-        self.stats.elements_in += 2
+        stats = self.stats
+        stats.elements_in += 2
         out.push(va + vb, cycle)
-        self.stats.elements_out += 1
-        self.stats.mark_active(cycle)
+        stats.elements_out += 1
+        stats.active_cycles += 1
+        if stats.first_active_cycle is None:
+            stats.first_active_cycle = cycle
+        stats.last_active_cycle = cycle
         self._count += 1
         if self._count >= self._per_image:
             self._count = 0
@@ -75,18 +78,23 @@ class ForkKernel(Kernel):
 
     def tick(self, cycle: int) -> None:
         inp = self.inputs[0]
-        if not inp.can_pop(cycle):
-            self._starved(cycle)
-            return
-        if not all(o.can_push() for o in self.outputs):
-            self._blocked(cycle)
-            return
+        fifo = inp._fifo
+        if not (fifo and fifo[0][1] <= cycle):
+            return self._starved(cycle)
+        outputs = self.outputs
+        for o in outputs:
+            if len(o._fifo) >= o.capacity:
+                return self._blocked(cycle)
         value = inp.pop(cycle)
-        self.stats.elements_in += 1
-        for o in self.outputs:
+        stats = self.stats
+        stats.elements_in += 1
+        for o in outputs:
             o.push(value, cycle)
-        self.stats.elements_out += len(self.outputs)
-        self.stats.mark_active(cycle)
+        stats.elements_out += len(outputs)
+        stats.active_cycles += 1
+        if stats.first_active_cycle is None:
+            stats.first_active_cycle = cycle
+        stats.last_active_cycle = cycle
         self._count += 1
         if self._count >= self._per_image:
             self._count = 0

@@ -21,6 +21,8 @@ __all__ = ["HostSource", "HostSink"]
 class HostSource(Kernel):
     """Streams a batch of images into the first on-fabric kernel."""
 
+    blocked_rejects_output = True
+
     def __init__(self, name: str, images: np.ndarray, spec: TensorSpec) -> None:
         super().__init__(name)
         images = np.asarray(images)
@@ -31,24 +33,30 @@ class HostSource(Kernel):
             raise ValueError(f"images shape {images.shape[1:]} != input spec {expected}")
         self.n_images = images.shape[0]
         # Depth-first flattening: row, column, channel — C order of HWC.
-        self._flat = images.reshape(-1).astype(np.int64)
+        # Stored as plain Python ints: the per-cycle push path then never
+        # touches numpy scalars.
+        self._flat = images.reshape(-1).astype(np.int64).tolist()
+        self._n = len(self._flat)
         self._pos = 0
 
     @property
     def done(self) -> bool:
-        return self._pos >= self._flat.size
+        return self._pos >= self._n
 
     def tick(self, cycle: int) -> None:
-        if self.done:
-            self._idle(cycle)
-            return
-        out = self.outputs[0]
-        if out.push(int(self._flat[self._pos]), cycle):
-            self._pos += 1
-            self.stats.elements_out += 1
-            self.stats.mark_active(cycle)
+        pos = self._pos
+        if pos >= self._n:
+            return self._idle(cycle)
+        if self.outputs[0].push(self._flat[pos], cycle):
+            self._pos = pos + 1
+            stats = self.stats
+            stats.elements_out += 1
+            stats.active_cycles += 1
+            if stats.first_active_cycle is None:
+                stats.first_active_cycle = cycle
+            stats.last_active_cycle = cycle
         else:
-            self._blocked(cycle)
+            return self._blocked(cycle)
 
     def reset(self) -> None:
         super().reset()
@@ -63,39 +71,45 @@ class HostSink(Kernel):
         self.spec = spec
         self.n_images = n_images
         self._per_image = spec.elements
-        self._values = np.zeros(n_images * self._per_image, dtype=np.int64)
+        self._total = n_images * self._per_image
+        self._values: list[int] = []
         self._pos = 0
         self.completion_cycles: list[int] = []
 
     @property
     def done(self) -> bool:
-        return self._pos >= self._values.size
+        return self._pos >= self._total
 
     def tick(self, cycle: int) -> None:
-        if self.done:
-            self._idle(cycle)
-            return
+        pos = self._pos
+        if pos >= self._total:
+            return self._idle(cycle)
         inp = self.inputs[0]
-        if not inp.can_pop(cycle):
-            self._starved(cycle)
-            return
-        self._values[self._pos] = inp.pop(cycle)
-        self._pos += 1
-        self.stats.elements_in += 1
-        self.stats.mark_active(cycle)
-        if self._pos % self._per_image == 0:
+        fifo = inp._fifo
+        if not (fifo and fifo[0][1] <= cycle):
+            return self._starved(cycle)
+        self._values.append(inp.pop(cycle))
+        pos += 1
+        self._pos = pos
+        stats = self.stats
+        stats.elements_in += 1
+        stats.active_cycles += 1
+        if stats.first_active_cycle is None:
+            stats.first_active_cycle = cycle
+        stats.last_active_cycle = cycle
+        if pos % self._per_image == 0:
             self.completion_cycles.append(cycle)
 
     def output_tensor(self) -> np.ndarray:
         """The collected outputs, shape (N, H, W, C)."""
         if not self.done:
-            raise RuntimeError(f"sink {self.name!r}: only {self._pos}/{self._values.size} elements received")
-        return self._values.reshape(
+            raise RuntimeError(f"sink {self.name!r}: only {self._pos}/{self._total} elements received")
+        return np.asarray(self._values, dtype=np.int64).reshape(
             self.n_images, self.spec.height, self.spec.width, self.spec.channels
         )
 
     def reset(self) -> None:
         super().reset()
-        self._values.fill(0)
+        self._values = []
         self._pos = 0
         self.completion_cycles = []

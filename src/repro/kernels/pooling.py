@@ -36,13 +36,27 @@ class MaxPoolKernel(Kernel):
         self.h = in_spec.height + 2 * node.pad
         self.w = in_spec.width + 2 * node.pad
         self.channels = in_spec.channels
-        self._grid = np.zeros((self.h, self.w, self.channels), dtype=np.int64)
+        # Flat Python-int grid: element (r, c, i) lives at (r*w + c)*C + i.
+        # Plain list indexing beats per-cycle numpy scalar access.
+        self._grid = [0] * (self.h * self.w * self.channels)
+        self._total = self.h * self.w * self.channels
         self._pos = 0
+        self._pixel = 0
+        self._i = 0
         self.images_done = 0
-
-    @property
-    def _total(self) -> int:
-        return self.h * self.w * self.channels
+        # Per-pixel geometry tables and the flat offsets of the K x K window
+        # (relative to the bottom-right element, same channel).
+        self._emit_px = [
+            self._emits_at(r, c) for r in range(self.h) for c in range(self.w)
+        ]
+        self._pad_px = [
+            self._is_pad(r, c) for r in range(self.h) for c in range(self.w)
+        ]
+        self._win_offsets = [
+            (dr * self.w + dc) * self.channels
+            for dr in range(self.k)
+            for dc in range(self.k)
+        ]
 
     def hardware_buffer_elements(self) -> int:
         return depth_first_buffer_elements(self.w, self.channels, self.k)
@@ -68,30 +82,40 @@ class MaxPoolKernel(Kernel):
     def tick(self, cycle: int) -> None:
         if self._pos >= self._total:
             self._finish_image()
-        r, c, i = self._position()
-        inp = self.inputs[0]
+        pixel = self._pixel
+        emits = self._emit_px[pixel]
         out = self.outputs[0]
-        emits = self._emits_at(r, c)
-        if emits and not out.can_push():
+        if emits and len(out._fifo) >= out.capacity:
             # Must emit this cycle but there is no space: stall the input too
             # (the value cannot be consumed without producing).
-            self._blocked(cycle)
-            return
-        if self._is_pad(r, c):
+            return self._blocked(cycle)
+        stats = self.stats
+        if self._pad_px[pixel]:
             value = 0  # level 0: neutral under max for non-negative levels
         else:
-            if not inp.can_pop(cycle):
-                self._starved(cycle)
-                return
+            inp = self.inputs[0]
+            fifo = inp._fifo
+            if not (fifo and fifo[0][1] <= cycle):
+                return self._starved(cycle)
             value = inp.pop(cycle)
-            self.stats.elements_in += 1
-        self._grid[r, c, i] = value
+            stats.elements_in += 1
+        i = self._i
+        base = pixel * self.channels + i
+        grid = self._grid
+        grid[base] = value
         self._pos += 1
-        self.stats.mark_active(cycle)
+        if i + 1 < self.channels:
+            self._i = i + 1
+        else:
+            self._i = 0
+            self._pixel = pixel + 1
+        stats.active_cycles += 1
+        if stats.first_active_cycle is None:
+            stats.first_active_cycle = cycle
+        stats.last_active_cycle = cycle
         if emits:
-            window = self._grid[r - self.k + 1 : r + 1, c - self.k + 1 : c + 1, i]
-            out.push(int(window.max()), cycle)
-            self.stats.elements_out += 1
+            out.push(max(grid[base - off] for off in self._win_offsets), cycle)
+            stats.elements_out += 1
         if self._pos >= self._total:
             self._finish_image()
 
@@ -99,9 +123,13 @@ class MaxPoolKernel(Kernel):
         if self._pos >= self._total:
             self.images_done += 1
             self._pos = 0
+            self._pixel = 0
+            self._i = 0
 
     def reset(self) -> None:
         super().reset()
         self._pos = 0
-        self._grid.fill(0)
+        self._pixel = 0
+        self._i = 0
+        self._grid = [0] * len(self._grid)
         self.images_done = 0

@@ -19,11 +19,13 @@ __all__ = ["GlobalAvgSumKernel"]
 class GlobalAvgSumKernel(Kernel):
     """Per-channel integer sum over the full spatial extent."""
 
+    blocked_rejects_output = True
+
     def __init__(self, name: str, in_spec: TensorSpec) -> None:
         super().__init__(name)
         self.channels = in_spec.channels
         self._per_image = in_spec.elements
-        self._sums = np.zeros(self.channels, dtype=np.int64)
+        self._sums = [0] * self.channels
         self._count = 0
         self._emit_chan: int | None = None
         self.images_done = 0
@@ -35,21 +37,20 @@ class GlobalAvgSumKernel(Kernel):
     def tick(self, cycle: int) -> None:
         out = self.outputs[0]
         if self._emit_chan is not None:
-            if out.push(int(self._sums[self._emit_chan]), cycle):
+            if out.push(self._sums[self._emit_chan], cycle):
                 self.stats.elements_out += 1
                 self.stats.mark_active(cycle)
                 self._emit_chan += 1
                 if self._emit_chan >= self.channels:
                     self._emit_chan = None
-                    self._sums.fill(0)
+                    self._sums = [0] * self.channels
                     self.images_done += 1
-            else:
-                self._blocked(cycle)
-            return
+                return None
+            return self._blocked(cycle)
         inp = self.inputs[0]
-        if not inp.can_pop(cycle):
-            self._starved(cycle)
-            return
+        fifo = inp._fifo
+        if not (fifo and fifo[0][1] <= cycle):
+            return self._starved(cycle)
         value = inp.pop(cycle)
         self.stats.elements_in += 1
         self._sums[self._count % self.channels] += value
@@ -61,7 +62,7 @@ class GlobalAvgSumKernel(Kernel):
 
     def reset(self) -> None:
         super().reset()
-        self._sums.fill(0)
+        self._sums = [0] * self.channels
         self._count = 0
         self._emit_chan = None
         self.images_done = 0

@@ -9,6 +9,8 @@ over the ``2**n − 1`` pre-computed endpoints of the element's channel.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
+
 import numpy as np
 
 from ..dataflow.kernel import Kernel
@@ -32,6 +34,14 @@ class ThresholdKernel(Kernel):
         self._endpoints: list[np.ndarray] = [np.asarray(ends[c]) for c in range(self.channels)]
         self._signs = [int(s) for s in self.unit.slope_sign]
         self._const = [int(v) for v in self.unit.const_level]
+        # Ascending per-channel endpoint lists for the hot path: plain
+        # Python bisect beats an np.searchsorted call per element by ~5x.
+        # Negative-slope channels store the reversed (ascending) endpoints.
+        self._asc: list[list[float]] = [
+            ends[c][::-1].tolist() if self._signs[c] < 0 else ends[c].tolist()
+            for c in range(self.channels)
+        ]
+        self._n_ends = ends.shape[1]
         self._chan = 0
         self.images_done = 0
         self._count = 0
@@ -54,19 +64,29 @@ class ThresholdKernel(Kernel):
     def tick(self, cycle: int) -> None:
         inp = self.inputs[0]
         out = self.outputs[0]
-        if not inp.can_pop(cycle):
-            self._starved(cycle)
-            return
-        if not out.can_push():
-            self._blocked(cycle)
-            return
+        fifo = inp._fifo
+        if not (fifo and fifo[0][1] <= cycle):
+            return self._starved(cycle)
+        if len(out._fifo) >= out.capacity:
+            return self._blocked(cycle)
         value = inp.pop(cycle)
-        self.stats.elements_in += 1
-        level = self._level(float(value), self._chan)
+        chan = self._chan
+        sign = self._signs[chan]
+        if sign == 0:
+            level = self._const[chan]
+        elif sign > 0:
+            level = bisect_right(self._asc[chan], value)
+        else:
+            level = self._n_ends - bisect_left(self._asc[chan], value)
         out.push(level, cycle)
-        self.stats.elements_out += 1
-        self.stats.mark_active(cycle)
-        self._chan = (self._chan + 1) % self.channels
+        stats = self.stats
+        stats.elements_in += 1
+        stats.elements_out += 1
+        stats.active_cycles += 1
+        if stats.first_active_cycle is None:
+            stats.first_active_cycle = cycle
+        stats.last_active_cycle = cycle
+        self._chan = chan + 1 if chan + 1 < self.channels else 0
         self._count += 1
         if self._count >= self._per_image:
             self._count = 0

@@ -61,6 +61,15 @@ __all__ = [
 WORD_BITS = 64
 _WORD_DTYPE = np.uint64
 
+# Popcount lowers through numpy's bitwise_count (NumPy >= 2.0).  Fail at
+# import with a clear message rather than deep inside a simulation run.
+if not hasattr(np, "bitwise_count"):  # pragma: no cover - depends on numpy build
+    raise ImportError(
+        "repro.quantization.bitops requires numpy>=2.0 for np.bitwise_count "
+        f"(found numpy {np.__version__}); upgrade numpy to use the bit-packed "
+        "arithmetic paths"
+    )
+
 
 def packed_words(n: int) -> int:
     """Number of 64-bit words needed to hold ``n`` bits."""
@@ -201,7 +210,9 @@ def bitplane_dot(w_words: np.ndarray, planes: list[np.ndarray]) -> np.ndarray:
     return acc
 
 
-def bitplane_gemm(w_words: np.ndarray, planes: list[np.ndarray]) -> np.ndarray:
+def bitplane_gemm(
+    w_words: np.ndarray, planes: list[np.ndarray], block_elements: int = 1 << 22
+) -> np.ndarray:
     """Binary-weight x n-bit-activation matrix product via AND-popcount planes.
 
     Parameters
@@ -211,22 +222,34 @@ def bitplane_gemm(w_words: np.ndarray, planes: list[np.ndarray]) -> np.ndarray:
     planes:
         List of packed activation planes, each of shape ``(N, W)``;
         ``planes[b]`` carries weight ``2**b``.
+    block_elements:
+        Cap on the ``rows x O x W`` broadcast intermediate.  Activation rows
+        are processed in blocks so memory stays bounded for large ``N``
+        instead of materialising the full ``(N, O, W)`` AND tensor at once.
 
     Returns
     -------
     ``int64`` array of shape ``(N, O)``.
     """
-    w_words = np.asarray(w_words, dtype=_WORD_DTYPE)
-    acc = None
-    for b, plane in enumerate(planes):
-        plane = np.asarray(plane, dtype=_WORD_DTYPE)
-        and_pc = popcount(np.bitwise_and(plane[:, None, :], w_words[None, :, :]))
-        mask_pc = popcount(plane)[:, None]
-        term = (2 * and_pc - mask_pc) << b
-        acc = term if acc is None else acc + term
-    if acc is None:
+    if not planes:
         raise ValueError("at least one bit-plane is required")
-    return acc
+    w_words = np.asarray(w_words, dtype=_WORD_DTYPE)
+    planes = [np.asarray(p, dtype=_WORD_DTYPE) for p in planes]
+    n_rows, n_out = planes[0].shape[0], w_words.shape[0]
+    words = w_words.shape[-1]
+    rows_per_block = max(1, block_elements // max(1, n_out * words))
+    out = np.zeros((n_rows, n_out), dtype=np.int64)
+    for start in range(0, n_rows, rows_per_block):
+        stop = min(n_rows, start + rows_per_block)
+        acc = None
+        for b, plane in enumerate(planes):
+            block = plane[start:stop]
+            and_pc = popcount(np.bitwise_and(block[:, None, :], w_words[None, :, :]))
+            mask_pc = popcount(block)[:, None]
+            term = (2 * and_pc - mask_pc) << b
+            acc = term if acc is None else acc + term
+        out[start:stop] = acc
+    return out
 
 
 @dataclass(frozen=True)
