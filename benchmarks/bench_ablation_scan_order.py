@@ -6,7 +6,6 @@ pixel, channels innermost.  This bench quantifies the buffer savings across
 the paper's layer shapes.
 """
 
-import pytest
 
 from repro.dataflow import depth_first_buffer_elements, width_first_buffer_elements
 from repro.eval.reporting import ExperimentResult

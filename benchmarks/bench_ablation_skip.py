@@ -14,7 +14,6 @@ residual network:
 """
 
 import numpy as np
-import pytest
 
 from repro.dataflow import simulate
 from repro.eval.reporting import ExperimentResult

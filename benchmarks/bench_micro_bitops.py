@@ -6,7 +6,6 @@ memory footprint advantage of 1-bit weight storage.
 """
 
 import numpy as np
-import pytest
 
 from repro.quantization import (
     BitPackedMatrix,

@@ -10,6 +10,10 @@ Commands
 ``simulate [--size N] [--images M]``
     Train nothing, build a tiny random-threshold network, stream images
     through the cycle-accurate simulator and print the pipeline waterfall.
+``trace [--size N] [--images M] [--out trace.json]``
+    Stream a network with event tracing enabled and write the full
+    cycle-exact event log as Chrome-trace JSON (load it at
+    https://ui.perfetto.dev or chrome://tracing).
 ``list``
     List available experiment ids.
 """
@@ -85,6 +89,33 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .dataflow import Tracer, simulate
+    from .dataflow.tracing import analyze_trace, render_waterfall
+    from .models import direct_vgg_graph
+
+    size = args.size
+    if size % 8:
+        print(f"size must be divisible by 8, got {size}", file=sys.stderr)
+        return 2
+    graph = direct_vgg_graph(size, width=0.0625, classes=4)
+    rng = np.random.default_rng(args.seed)
+    images = rng.integers(0, 4, size=(args.images, size, size, 3))
+    tracer = Tracer()
+    run = simulate(graph, images, fast=not args.exhaustive, trace=tracer)
+    path = tracer.write_chrome_trace(args.out)
+    print(
+        f"{args.images} image(s) through {graph.name}: {run.cycles:,} cycles; "
+        f"latency {run.latency_cycles:,}"
+    )
+    print(render_waterfall(analyze_trace(tracer)))
+    print(
+        f"wrote {tracer.event_count():,} events ({path.stat().st_size:,} bytes) to {path} — "
+        "open in https://ui.perfetto.dev"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -111,6 +142,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--images", type=int, default=1)
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_trace = sub.add_parser(
+        "trace", help="cycle-simulate with event tracing and write Perfetto JSON"
+    )
+    p_trace.add_argument("--size", type=int, default=16)
+    p_trace.add_argument("--images", type=int, default=2)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", default="trace.json", help="output Chrome-trace path")
+    p_trace.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="trace the exhaustive reference scheduler instead of the fast path",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 

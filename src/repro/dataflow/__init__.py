@@ -13,7 +13,15 @@ from .manager import (
     simulate,
 )
 from .stream import Stream, StreamStats
-from .tracing import KernelWindow, PipelineTrace, analyze_run, render_waterfall
+from .trace import (
+    ImageCompletion,
+    KernelSpan,
+    RejectSpan,
+    StreamEvent,
+    Tracer,
+    load_chrome_trace,
+)
+from .tracing import KernelWindow, PipelineTrace, analyze_run, analyze_trace, render_waterfall
 from .window import (
     ScanWindow,
     depth_first_buffer_elements,
@@ -40,9 +48,16 @@ __all__ = [
     "KernelWindow",
     "PipelineTrace",
     "analyze_run",
+    "analyze_trace",
     "render_waterfall",
     "Stream",
     "StreamStats",
+    "Tracer",
+    "KernelSpan",
+    "StreamEvent",
+    "RejectSpan",
+    "ImageCompletion",
+    "load_chrome_trace",
     "ScanWindow",
     "depth_first_buffer_elements",
     "skip_buffer_elements",

@@ -15,12 +15,14 @@ and per-image completion cycles so that claim can be tested, not assumed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Callable
+from dataclasses import dataclass
 
 import numpy as np
 
-from .kernel import STALL_BLOCKED, STALL_IDLE, STALL_STARVED, WAKE_NEVER, Kernel, KernelStats
+from .kernel import STALL_BLOCKED, STALL_STARVED, WAKE_NEVER, Kernel, KernelStats
 from .stream import Stream, StreamStats
+from .trace import Tracer
 
 __all__ = ["Engine", "RunResult"]
 
@@ -78,6 +80,10 @@ class Engine:
         self.name = name
         self.kernels: list[Kernel] = []
         self.streams: list[Stream] = []
+        # Active tracer for the current run (None = tracing off).  Held on
+        # the engine so the bulk stall accounting can synthesize the spans
+        # the fast path never ticked.
+        self._tracer: Tracer | None = None
 
     def add_kernel(self, kernel: Kernel) -> Kernel:
         self.kernels.append(kernel)
@@ -95,7 +101,13 @@ class Engine:
         stream.reader = consumer
         return stream
 
-    def run(self, done: callable, max_cycles: int = 50_000_000, fast: bool = True) -> int:
+    def run(
+        self,
+        done: Callable[[], bool],
+        max_cycles: int = 50_000_000,
+        fast: bool = True,
+        trace: Tracer | None = None,
+    ) -> int:
         """Tick kernels until ``done()`` is true; returns the cycle count.
 
         ``fast=True`` (the default) runs the runnable-set scheduler: kernels
@@ -105,18 +117,64 @@ class Engine:
         kernel is runnable the engine fast-forwards straight to the next
         scheduled wake-up.  ``fast=False`` keeps the original
         tick-everything loop as the executable reference semantics.
-        """
-        if fast:
-            return self._run_fast(done, max_cycles)
-        return self._run_exhaustive(done, max_cycles)
 
-    def _run_exhaustive(self, done: callable, max_cycles: int) -> int:
+        ``trace`` accepts a fresh :class:`~repro.dataflow.trace.Tracer`;
+        the engine installs its hooks on every kernel and stream for the
+        duration of the run, so the tracer sees every tick classification,
+        push/pop/reject, link transit, and image completion with exact
+        cycle timestamps.  Both schedulers produce the identical event log
+        (the fast path synthesizes stall spans for the cycles it skipped);
+        tracing changes no observable behaviour, only records it.
+        """
+        if max_cycles <= 0:
+            raise ValueError(
+                f"engine {self.name!r}: max_cycles must be a positive cycle budget, "
+                f"got {max_cycles!r}"
+            )
+        if trace is not None:
+            trace.attach(self)
+        self._tracer = trace
+        try:
+            if fast:
+                cycles = self._run_fast(done, max_cycles)
+            else:
+                cycles = self._run_exhaustive(done, max_cycles)
+            if trace is not None:
+                trace.finish(cycles)
+            return cycles
+        finally:
+            self._tracer = None
+            if trace is not None:
+                trace.detach(self)
+
+    def _run_exhaustive(self, done: Callable[[], bool], max_cycles: int) -> int:
         """The reference loop: every kernel ticks every cycle."""
+        tracer = self._tracer
+        if tracer is not None:
+            return self._run_exhaustive_traced(done, max_cycles, tracer)
         cycle = 0
         kernels = self.kernels
         while not done():
             for kernel in kernels:
                 kernel.tick(cycle)
+            cycle += 1
+            if cycle >= max_cycles:
+                raise RuntimeError(
+                    f"engine {self.name!r}: no convergence after {max_cycles} cycles "
+                    "(deadlock or undersized run budget)"
+                )
+        return cycle
+
+    def _run_exhaustive_traced(
+        self, done: Callable[[], bool], max_cycles: int, tracer: Tracer
+    ) -> int:
+        """The reference loop with every tick classification recorded."""
+        cycle = 0
+        kernels = self.kernels
+        on_tick = tracer.on_tick
+        while not done():
+            for kernel in kernels:
+                on_tick(kernel.name, cycle, kernel.tick(cycle))
             cycle += 1
             if cycle >= max_cycles:
                 raise RuntimeError(
@@ -146,8 +204,9 @@ class Engine:
     #   tick every cycle, so arbitrary user kernels degrade to the
     #   exhaustive semantics rather than to wrong schedules.
 
-    def _run_fast(self, done: callable, max_cycles: int) -> int:
+    def _run_fast(self, done: Callable[[], bool], max_cycles: int) -> int:
         kernels = self.kernels
+        tracer = self._tracer
         for kernel in kernels:
             kernel._parked = False
             kernel._wake_at = WAKE_NEVER
@@ -158,10 +217,17 @@ class Engine:
             if n_parked == n:
                 # Nothing runnable: fast-forward straight to the earliest
                 # wake-up (pending stream latency, usually a link in flight).
+                # The clamp matters: a pop hook can leave a parked writer
+                # with a _wake_at in the *past* (the pop's cycle, when the
+                # writer's sweep slot had already gone by), and jumping to
+                # it would rewind the clock and replay cycles the exhaustive
+                # loop ran exactly once.  Stale wake-ups are instead served
+                # by the ``_wake_at <= cycle`` test in the sweep below.
                 target = min(k._wake_at for k in kernels)
                 if target >= max_cycles:
                     self._settle(max_cycles)
-                cycle = target
+                if target > cycle:
+                    cycle = target
             for kernel in kernels:
                 if kernel._parked:
                     if kernel._wake_at > cycle:
@@ -174,6 +240,8 @@ class Engine:
                     kernel._wake_at = WAKE_NEVER
                     n_parked -= 1
                 status = kernel.tick(cycle)
+                if tracer is not None:
+                    tracer.on_tick(kernel.name, cycle, status)
                 if status is not None:
                     kernel._parked = True
                     kernel._park_cycle = cycle
@@ -239,6 +307,16 @@ class Engine:
                 kernel.outputs[0].stats.full_rejections += skipped
         else:
             stats.idle_cycles += skipped
+        tracer = self._tracer
+        if tracer is not None:
+            # Synthesize the stall span the fast path never ticked so the
+            # event trace is identical to the exhaustive loop's: the span
+            # extends the live park tick through the cycle before the wake.
+            start = kernel._park_cycle + 1
+            end = kernel._park_cycle + skipped
+            tracer.on_stall_span(kernel.name, kind, start, end)
+            if kind == STALL_BLOCKED and kernel.blocked_rejects_output:
+                tracer.on_reject_span(kernel.outputs[0].name, start, end)
 
     def reset(self) -> None:
         for kernel in self.kernels:

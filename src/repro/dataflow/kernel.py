@@ -77,6 +77,11 @@ class Kernel:
         self._park_cycle = 0
         self._park_kind = 0
         self._wake_at = WAKE_NEVER
+        # Event tracer installed by Engine.run(trace=...) for the duration
+        # of a traced run.  The engine records tick classifications itself;
+        # this handle is for kernel-level events the engine cannot see,
+        # e.g. the host sink's per-image completions.
+        self._tracer = None
 
     def connect_input(self, stream: Stream) -> None:
         self.inputs.append(stream)

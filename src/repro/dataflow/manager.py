@@ -38,6 +38,7 @@ from .engine import Engine, RunResult
 from .kernel import Kernel
 from .links import MAXRING, PCIE_GEN2_X8, LinkSpec, required_bandwidth_mbps
 from .stream import Stream
+from .trace import Tracer
 
 __all__ = ["build_pipeline", "simulate", "StreamingRun", "LinkCrossing", "SKIP_STREAM_CAPACITY"]
 
@@ -301,6 +302,7 @@ def simulate(
     fclk_mhz: float = 105.0,
     max_cycles: int = 50_000_000,
     fast: bool = True,
+    trace: Tracer | None = None,
 ) -> StreamingRun:
     """Cycle-accurately stream ``images`` through ``graph``.
 
@@ -309,12 +311,17 @@ def simulate(
     :func:`repro.nn.inference.run_graph` (tested property).  ``fast``
     selects the event-driven scheduler (default) or the exhaustive
     tick-everything reference loop; both produce identical results and
-    statistics (tested property).
+    statistics (tested property).  Passing a fresh
+    :class:`~repro.dataflow.trace.Tracer` as ``trace`` records the run's
+    full cycle-exact event log (identical for both schedulers) for
+    Perfetto export and occupancy analysis.
     """
     pipeline = build_pipeline(
         graph, images, use_bitops=use_bitops, partition=partition, link=link, fclk_mhz=fclk_mhz
     )
-    cycles = pipeline.engine.run(lambda: pipeline.sink.done, max_cycles=max_cycles, fast=fast)
+    cycles = pipeline.engine.run(
+        lambda: pipeline.sink.done, max_cycles=max_cycles, fast=fast, trace=trace
+    )
     kstats, sstats = pipeline.engine.collect_stats()
     run = RunResult(
         cycles=cycles,

@@ -53,6 +53,7 @@ class Stream:
         "stats",
         "reader",
         "writer",
+        "tracer",
     )
 
     def __init__(self, name: str, capacity: int = 4, latency: int = 0, bits: int = 2) -> None:
@@ -70,6 +71,9 @@ class Stream:
         # endpoints directly (see the fast-path invariants in engine.py).
         self.reader = None
         self.writer = None
+        # Event tracer installed by Engine.run(trace=...) for the duration
+        # of a traced run; None keeps the hot path hook-free.
+        self.tracer = None
 
     def __repr__(self) -> str:
         return f"Stream({self.name!r}, occ={len(self._fifo)}/{self.capacity})"
@@ -88,12 +92,18 @@ class Stream:
         occ = len(fifo)
         if occ >= self.capacity:
             stats.full_rejections += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.on_reject(self.name, cycle)
             return False
         ready = cycle + 1 + self.latency
         fifo.append((int(value), ready))
         stats.pushes += 1
         if occ >= stats.max_occupancy:
             stats.max_occupancy = occ + 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_push(self.name, cycle, ready, occ + 1)
         if not occ:
             # Only an empty->nonempty transition can unstarve the reader; a
             # push behind existing elements is covered by the wake already
@@ -126,6 +136,9 @@ class Stream:
         was_full = len(fifo) >= self.capacity
         value, _ = fifo.popleft()
         self.stats.pops += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.on_pop(self.name, cycle, len(fifo))
         if was_full:
             # Only a full->nonfull transition can unblock the writer.  Wake
             # at this very cycle: if the writer's slot in the engine sweep is

@@ -1,0 +1,364 @@
+"""Structured event tracing for the dataflow simulator.
+
+A :class:`Tracer` attached to :meth:`Engine.run <repro.dataflow.engine.Engine.run>`
+records *typed, cycle-exact* events while the simulation runs:
+
+* **kernel spans** — contiguous runs of identical per-cycle classifications
+  (``compute`` / ``starved`` / ``blocked`` / ``idle``).  A span's start is
+  the park (or first-active) cycle and its end the last cycle before the
+  wake, so park/wake instants are exactly the span edges;
+* **stream events** — every push and pop with the post-event occupancy
+  (push events also carry the cycle the element becomes visible, which is
+  how link transits are reconstructed for streams with latency);
+* **reject spans** — contiguous full-FIFO push rejections per stream;
+* **image completions** — one instant per image leaving the host sink.
+
+The same trace comes out of both engine paths: the exhaustive loop emits
+one classification per kernel per cycle and the tracer merges them into
+spans, while the fast path emits live-tick classifications plus synthetic
+stall spans for the cycles its park/wake scheduler skipped
+(:meth:`on_stall_span`, called from the engine's bulk accounting).  Span
+merging makes the two byte-identical — a property the test suite asserts
+over every equivalence topology.
+
+Everything the older aggregate analysis needs (live windows, duty cycles,
+stall breakdowns) is derivable from the event log — see
+:func:`repro.dataflow.tracing.analyze_trace` — plus quantities the
+aggregate counters cannot express: FIFO occupancy over time
+(:meth:`occupancy_timeline`) and the full Chrome-trace/Perfetto timeline
+(:meth:`to_chrome_trace` / :meth:`write_chrome_trace`, one simulated cycle
+mapped to one microsecond; load the JSON at https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "ImageCompletion",
+    "KernelSpan",
+    "RejectSpan",
+    "StreamEvent",
+    "Tracer",
+    "load_chrome_trace",
+]
+
+# Span kinds, keyed by the STALL_* codes a tick returns (None == progress).
+# Unknown positive codes (custom kernels) map to "stall:<code>" so a trace
+# never silently drops information.
+_KIND_BY_STATUS = {None: "compute", 1: "starved", 2: "blocked", 3: "idle"}
+
+
+@dataclass(slots=True)
+class KernelSpan:
+    """A maximal run of cycles with one per-cycle classification."""
+
+    kernel: str
+    kind: str
+    start: int
+    end: int  # inclusive
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start + 1
+
+
+@dataclass(slots=True)
+class StreamEvent:
+    """One push or pop on a stream.
+
+    ``occupancy`` is the FIFO depth *after* the event; for pushes ``ready``
+    is the cycle the element becomes visible to the reader (``cycle + 1 +
+    latency`` — more than one cycle ahead means the element is in transit
+    on a link).
+    """
+
+    stream: str
+    kind: str  # "push" | "pop"
+    cycle: int
+    occupancy: int
+    ready: int = -1  # pushes only; -1 for pops
+
+
+@dataclass(slots=True)
+class RejectSpan:
+    """A maximal run of cycles during which a full stream rejected a push."""
+
+    stream: str
+    start: int
+    end: int  # inclusive
+
+    @property
+    def cycles(self) -> int:
+        return self.end - self.start + 1
+
+
+@dataclass(slots=True)
+class ImageCompletion:
+    """One image fully emerged from the host sink."""
+
+    index: int
+    cycle: int
+
+
+class Tracer:
+    """Collects typed events from one engine run (single-use).
+
+    Create a fresh tracer per run and pass it to ``Engine.run(trace=...)``
+    (or ``simulate(..., trace=...)``); the engine attaches it to every
+    kernel and stream for the duration of the run and detaches afterwards.
+    """
+
+    def __init__(self) -> None:
+        self.engine_name: str = ""
+        self.kernel_spans: dict[str, list[KernelSpan]] = {}
+        self.stream_events: dict[str, list[StreamEvent]] = {}
+        self.reject_spans: dict[str, list[RejectSpan]] = {}
+        self.completions: list[ImageCompletion] = []
+        self.total_cycles: int | None = None
+        self._stream_meta: dict[str, dict[str, int]] = {}
+        self._attached = False
+
+    # -- engine lifecycle ------------------------------------------------
+    def attach(self, engine) -> None:
+        """Register ``engine``'s kernels and streams and install hooks."""
+        if self._attached or self.total_cycles is not None:
+            raise ValueError("a Tracer is single-use; create a fresh one per run")
+        self._attached = True
+        self.engine_name = engine.name
+        for kernel in engine.kernels:
+            self.kernel_spans.setdefault(kernel.name, [])
+            kernel._tracer = self
+        for stream in engine.streams:
+            self.stream_events.setdefault(stream.name, [])
+            self.reject_spans.setdefault(stream.name, [])
+            self._stream_meta[stream.name] = {
+                "capacity": stream.capacity,
+                "latency": stream.latency,
+                "bits": stream.bits,
+            }
+            stream.tracer = self
+
+    def detach(self, engine) -> None:
+        for kernel in engine.kernels:
+            kernel._tracer = None
+        for stream in engine.streams:
+            stream.tracer = None
+
+    def finish(self, total_cycles: int) -> None:
+        """Seal the trace with the run's final cycle count."""
+        self.total_cycles = total_cycles
+
+    # -- recording hooks (called by the engine, streams, and sink) ------
+    def on_tick(self, kernel: str, cycle: int, status: int | None) -> None:
+        """One live kernel tick classified as progress or a stall kind."""
+        kind = _KIND_BY_STATUS.get(status) or f"stall:{status}"
+        spans = self.kernel_spans[kernel]
+        if spans:
+            last = spans[-1]
+            if last.kind == kind and last.end == cycle - 1:
+                last.end = cycle
+                return
+        spans.append(KernelSpan(kernel, kind, cycle, cycle))
+
+    def on_stall_span(self, kernel: str, status: int, start: int, end: int) -> None:
+        """Synthesized stall cycles ``[start, end]`` for a parked kernel.
+
+        The fast path calls this when it bulk-accounts the cycles it never
+        ticked; the span extends the park tick already recorded by
+        :meth:`on_tick`, so the merged trace is identical to the exhaustive
+        loop's cycle-by-cycle record.
+        """
+        kind = _KIND_BY_STATUS.get(status) or f"stall:{status}"
+        spans = self.kernel_spans[kernel]
+        if spans:
+            last = spans[-1]
+            if last.kind == kind and last.end == start - 1:
+                last.end = end
+                return
+        spans.append(KernelSpan(kernel, kind, start, end))
+
+    def on_push(self, stream: str, cycle: int, ready: int, occupancy: int) -> None:
+        self.stream_events[stream].append(StreamEvent(stream, "push", cycle, occupancy, ready))
+
+    def on_pop(self, stream: str, cycle: int, occupancy: int) -> None:
+        self.stream_events[stream].append(StreamEvent(stream, "pop", cycle, occupancy))
+
+    def on_reject(self, stream: str, cycle: int) -> None:
+        """One live full-FIFO push rejection."""
+        self.on_reject_span(stream, cycle, cycle)
+
+    def on_reject_span(self, stream: str, start: int, end: int) -> None:
+        """Rejections for every cycle in ``[start, end]`` (bulk-accounted)."""
+        spans = self.reject_spans[stream]
+        if spans:
+            last = spans[-1]
+            if last.end == start - 1:
+                last.end = end
+                return
+        spans.append(RejectSpan(stream, start, end))
+
+    def on_image_complete(self, index: int, cycle: int) -> None:
+        self.completions.append(ImageCompletion(index, cycle))
+
+    # -- derived views ---------------------------------------------------
+    def occupancy_timeline(self, stream: str) -> list[tuple[int, int]]:
+        """Step samples ``(cycle, occupancy)`` — one per cycle with events.
+
+        The occupancy is the FIFO depth after the cycle's last event; the
+        timeline starts implicitly at ``(run start, 0)``.
+        """
+        samples: list[tuple[int, int]] = []
+        for event in self.stream_events[stream]:
+            if samples and samples[-1][0] == event.cycle:
+                samples[-1] = (event.cycle, event.occupancy)
+            else:
+                samples.append((event.cycle, event.occupancy))
+        return samples
+
+    def link_transits(self, stream: str) -> list[tuple[int, int]]:
+        """``(push_cycle, ready_cycle)`` per element for latency streams."""
+        if self._stream_meta.get(stream, {}).get("latency", 0) <= 0:
+            return []
+        return [(e.cycle, e.ready) for e in self.stream_events[stream] if e.kind == "push"]
+
+    def event_count(self) -> int:
+        """Total recorded events (spans + stream events + completions)."""
+        return (
+            sum(len(s) for s in self.kernel_spans.values())
+            + sum(len(e) for e in self.stream_events.values())
+            + sum(len(r) for r in self.reject_spans.values())
+            + len(self.completions)
+        )
+
+    # -- Chrome-trace / Perfetto export ----------------------------------
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The event log as a Chrome-trace JSON object.
+
+        One simulated cycle maps to one microsecond of trace time.  Kernels
+        render as threads of process 0 (one complete-event per span);
+        streams render under process 1 as FIFO-occupancy counter tracks,
+        reject complete-events, and async begin/end pairs for elements in
+        transit on latency links.  Image completions are global instants.
+        Perfetto (https://ui.perfetto.dev) and ``chrome://tracing`` both
+        load this format directly.
+        """
+        events: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": f"kernels ({self.engine_name})"},
+            },
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": 0,
+                "args": {"name": f"streams ({self.engine_name})"},
+            },
+        ]
+        for tid, (kernel, spans) in enumerate(self.kernel_spans.items()):
+            events.append(
+                {"name": "thread_name", "ph": "M", "pid": 0, "tid": tid, "args": {"name": kernel}}
+            )
+            for span in spans:
+                events.append(
+                    {
+                        "name": span.kind,
+                        "cat": "kernel",
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": tid,
+                        "ts": span.start,
+                        "dur": span.cycles,
+                        "args": {"cycles": span.cycles},
+                    }
+                )
+        for tid, stream in enumerate(self.stream_events):
+            meta = self._stream_meta.get(stream, {})
+            events.append(
+                {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid, "args": {"name": stream}}
+            )
+            for cycle, occupancy in self.occupancy_timeline(stream):
+                events.append(
+                    {
+                        "name": f"fifo:{stream}",
+                        "cat": "stream",
+                        "ph": "C",
+                        "pid": 1,
+                        "tid": tid,
+                        "ts": cycle,
+                        "args": {"occupancy": occupancy},
+                    }
+                )
+            for span in self.reject_spans[stream]:
+                events.append(
+                    {
+                        "name": "reject",
+                        "cat": "stream",
+                        "ph": "X",
+                        "pid": 1,
+                        "tid": tid,
+                        "ts": span.start,
+                        "dur": span.cycles,
+                        "args": {"rejected_pushes": span.cycles},
+                    }
+                )
+            for element, (pushed, ready) in enumerate(self.link_transits(stream)):
+                ident = f"{stream}#{element}"
+                common = {"cat": "link", "pid": 1, "tid": tid, "id": ident, "name": f"transit:{stream}"}
+                events.append({**common, "ph": "b", "ts": pushed})
+                events.append({**common, "ph": "e", "ts": ready})
+        for completion in self.completions:
+            events.append(
+                {
+                    "name": f"image {completion.index} complete",
+                    "cat": "image",
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": completion.cycle,
+                    "s": "g",
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "engine": self.engine_name,
+                "total_cycles": self.total_cycles,
+                "time_unit": "1 trace us == 1 simulated cycle",
+                "streams": self._stream_meta,
+            },
+        }
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Serialize :meth:`to_chrome_trace` to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace()) + "\n")
+        return path
+
+    # -- equality (used by the fast/exhaustive property tests) -----------
+    def state(self) -> dict[str, Any]:
+        """The full event log as plain data, for equality assertions."""
+        return {
+            "engine": self.engine_name,
+            "total_cycles": self.total_cycles,
+            "kernel_spans": {k: [asdict(s) for s in v] for k, v in self.kernel_spans.items()},
+            "stream_events": {k: [asdict(e) for e in v] for k, v in self.stream_events.items()},
+            "reject_spans": {k: [asdict(r) for r in v] for k, v in self.reject_spans.items()},
+            "completions": [asdict(c) for c in self.completions],
+        }
+
+
+def load_chrome_trace(path: str | Path) -> dict[str, Any]:
+    """Load and minimally validate a Chrome-trace JSON file."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or not isinstance(data.get("traceEvents"), list):
+        raise ValueError(f"{path}: not a Chrome-trace JSON object")
+    return data

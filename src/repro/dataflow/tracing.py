@@ -1,7 +1,7 @@
-"""Pipeline activity tracing and analysis.
+"""Pipeline activity analysis: live windows, waterfalls, stall reports.
 
-Turns a :class:`~repro.dataflow.engine.RunResult` into the quantities the
-paper's architecture narrative is built on:
+Turns a finished run into the quantities the paper's architecture
+narrative is built on:
 
 * per-kernel **live windows** (first to last active cycle) — the visual
   "waterfall" of a streaming pipeline filling up;
@@ -10,6 +10,23 @@ paper's architecture narrative is built on:
 * per-kernel **duty cycles** and stall breakdowns — where backpressure or
   starvation actually bites;
 * a plain-text waterfall rendering for reports and examples.
+
+Two sources feed the same :class:`PipelineTrace`:
+
+* :func:`analyze_run` reconstructs windows from the aggregate
+  :class:`~repro.dataflow.kernel.KernelStats` counters of a
+  :class:`~repro.dataflow.engine.RunResult` — always available, no
+  tracing overhead;
+* :func:`analyze_trace` derives the identical windows from a
+  :class:`~repro.dataflow.trace.Tracer` event log — the ground-truth
+  cycle-exact record, which additionally knows *where* inside the live
+  window each stall sat (the event log is the authority; the aggregate
+  path is tested to agree with it).
+
+Kernels that never became active (e.g. a host sink in an aborted run)
+carry ``first_active = last_active = None``; they are excluded from
+initiation-interval and steady-state math rather than being fabricated
+into a ``[0, 0]`` window that would silently corrupt both.
 """
 
 from __future__ import annotations
@@ -17,23 +34,35 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .engine import RunResult
+from .trace import Tracer
 
-__all__ = ["KernelWindow", "PipelineTrace", "analyze_run", "render_waterfall"]
+__all__ = ["KernelWindow", "PipelineTrace", "analyze_run", "analyze_trace", "render_waterfall"]
 
 
 @dataclass(frozen=True)
 class KernelWindow:
-    """Activity summary of one kernel over a run."""
+    """Activity summary of one kernel over a run.
+
+    ``first_active`` / ``last_active`` are ``None`` for a kernel that never
+    did any work; such windows report a zero live span and duty cycle.
+    """
 
     name: str
-    first_active: int
-    last_active: int
+    first_active: int | None
+    last_active: int | None
     active_cycles: int
     input_starved: int
     output_blocked: int
 
     @property
+    def is_idle(self) -> bool:
+        """True when the kernel never became active during the run."""
+        return self.first_active is None
+
+    @property
     def live_span(self) -> int:
+        if self.first_active is None or self.last_active is None:
+            return 0
         return self.last_active - self.first_active + 1
 
     @property
@@ -50,16 +79,31 @@ class PipelineTrace:
     total_cycles: int
 
     @property
+    def active_windows(self) -> list[KernelWindow]:
+        """Windows of kernels that did at least one cycle of work."""
+        return [w for w in self.windows if not w.is_idle]
+
+    @property
     def initiation_interval(self) -> int:
-        """Cycles until every kernel has produced/consumed at least once."""
-        return max(w.first_active for w in self.windows)
+        """Cycles until every *active* kernel produced/consumed at least once.
+
+        Never-active kernels are excluded: they have no wake-up cycle, and
+        counting them as cycle 0 would shrink the interval arbitrarily.
+        """
+        active = self.active_windows
+        if not active:
+            raise ValueError("no kernel was ever active; no initiation interval")
+        return max(w.first_active for w in active)
 
     @property
     def steady_fraction(self) -> float:
-        """Fraction of the run spent with all kernels live simultaneously."""
-        start = max(w.first_active for w in self.windows)
-        end = min(w.last_active for w in self.windows)
-        if end <= start or self.total_cycles == 0:
+        """Fraction of the run spent with all active kernels live simultaneously."""
+        active = self.active_windows
+        if not active or self.total_cycles == 0:
+            return 0.0
+        start = max(w.first_active for w in active)
+        end = min(w.last_active for w in active)
+        if end <= start:
             return 0.0
         return (end - start) / self.total_cycles
 
@@ -73,28 +117,68 @@ class PipelineTrace:
         return sorted(rows, key=lambda r: r[1] + r[2], reverse=True)
 
 
+def _window_from_stats(name: str, stats) -> KernelWindow:
+    return KernelWindow(
+        name=name,
+        first_active=stats.first_active_cycle,
+        last_active=stats.last_active_cycle,
+        active_cycles=stats.active_cycles,
+        input_starved=stats.input_starved_cycles,
+        output_blocked=stats.output_blocked_cycles,
+    )
+
+
 def analyze_run(result: RunResult, skip_idle: bool = True) -> PipelineTrace:
-    """Build a :class:`PipelineTrace` from a finished run."""
+    """Build a :class:`PipelineTrace` from a finished run's aggregate stats.
+
+    ``skip_idle=True`` drops never-active kernels from the window list;
+    ``skip_idle=False`` keeps them as explicit idle windows (``first_active
+    is None``) so stall counters of dead kernels stay visible without
+    polluting interval math.
+    """
     windows = []
     for name, stats in result.kernel_stats.items():
-        if stats.first_active_cycle is None:
+        if stats.first_active_cycle is None and skip_idle:
+            continue
+        windows.append(_window_from_stats(name, stats))
+    if not any(not w.is_idle for w in windows):
+        raise ValueError("no kernel was ever active; nothing to analyze")
+    return PipelineTrace(windows=windows, total_cycles=result.cycles)
+
+
+def analyze_trace(tracer: Tracer, skip_idle: bool = True) -> PipelineTrace:
+    """Build a :class:`PipelineTrace` from a :class:`Tracer` event log.
+
+    Produces windows identical to :func:`analyze_run` over the same run
+    (tested property), but from the cycle-exact span record: active cycles
+    are the summed ``compute`` spans, stall counters the summed ``starved``
+    and ``blocked`` spans.
+    """
+    if tracer.total_cycles is None:
+        raise ValueError("tracer has no finished run to analyze")
+    windows = []
+    for name, spans in tracer.kernel_spans.items():
+        compute = [s for s in spans if s.kind == "compute"]
+        starved = sum(s.cycles for s in spans if s.kind == "starved")
+        blocked = sum(s.cycles for s in spans if s.kind == "blocked")
+        if not compute:
             if skip_idle:
                 continue
-            windows.append(KernelWindow(name, 0, 0, 0, stats.input_starved_cycles, stats.output_blocked_cycles))
+            windows.append(KernelWindow(name, None, None, 0, starved, blocked))
             continue
         windows.append(
             KernelWindow(
                 name=name,
-                first_active=stats.first_active_cycle,
-                last_active=stats.last_active_cycle,
-                active_cycles=stats.active_cycles,
-                input_starved=stats.input_starved_cycles,
-                output_blocked=stats.output_blocked_cycles,
+                first_active=compute[0].start,
+                last_active=compute[-1].end,
+                active_cycles=sum(s.cycles for s in compute),
+                input_starved=starved,
+                output_blocked=blocked,
             )
         )
-    if not windows:
+    if not any(not w.is_idle for w in windows):
         raise ValueError("no kernel was ever active; nothing to analyze")
-    return PipelineTrace(windows=windows, total_cycles=result.cycles)
+    return PipelineTrace(windows=windows, total_cycles=tracer.total_cycles)
 
 
 def render_waterfall(trace: PipelineTrace, width: int = 60) -> str:
@@ -102,10 +186,14 @@ def render_waterfall(trace: PipelineTrace, width: int = 60) -> str:
 
     The stair-step left edge *is* the paper's pipeline-fill story: each
     kernel starts as soon as enough data accumulated in its buffer.
+    Never-active kernels render an empty bar tagged ``idle``.
     """
     total = max(trace.total_cycles, 1)
     lines = [f"{'kernel':24s} |{'pipeline activity':<{width}s}| duty"]
     for w in trace.windows:
+        if w.is_idle:
+            lines.append(f"{w.name[:24]:24s} |{' ' * width}| idle")
+            continue
         start = int(w.first_active / total * width)
         end = max(start + 1, int(w.last_active / total * width))
         bar = " " * start + "=" * (end - start) + " " * (width - end)

@@ -18,7 +18,7 @@ from ..hardware import (
     partition_network,
 )
 from ..models import build_vgg_like, direct_alexnet_graph, direct_resnet18_graph, direct_vgg_graph
-from ..nn import Tensor, export_model, input_to_levels
+from ..nn import export_model, input_to_levels
 from ..nn.graph import LayerGraph
 from ..nn.training import evaluate, train
 from .reporting import ExperimentResult

@@ -99,6 +99,9 @@ class HostSink(Kernel):
         stats.last_active_cycle = cycle
         if pos % self._per_image == 0:
             self.completion_cycles.append(cycle)
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.on_image_complete(len(self.completion_cycles) - 1, cycle)
 
     def output_tensor(self) -> np.ndarray:
         """The collected outputs, shape (N, H, W, C)."""

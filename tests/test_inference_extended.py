@@ -1,7 +1,6 @@
 """Extended inference-executor tests: activations, batching, robustness."""
 
 import numpy as np
-import pytest
 
 from repro.nn import input_to_levels, run_graph
 from repro.nn.inference import classify

@@ -2,7 +2,6 @@
 with the functional executor for *any* valid network, not just the zoo."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,214 @@
+"""Event-trace correctness: scheduler equality, derived views, export.
+
+The tracing contract (DESIGN.md) is that a traced run is *observationally
+free*: tracing changes no statistic and no schedule, and — the strong
+property — the fast park/wake scheduler and the exhaustive reference loop
+produce the **byte-identical event log** on the same workload, because the
+fast path synthesizes exactly the stall spans it skipped.  These tests
+pin that contract over every equivalence topology, then check the derived
+views (occupancy timelines, link transits, waterfall analysis) and the
+Chrome-trace export against it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.dataflow import Tracer, analyze_trace, load_chrome_trace, simulate
+from repro.dataflow.tracing import analyze_run
+from repro.nn import export_model
+
+from .conftest import make_tiny_chain_model, make_tiny_resnet_model
+
+
+def _images(seed: int, n: int = 2, size: int = 16) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 4, size=(n, size, size, 3), dtype=np.int64)
+
+
+def _half_partition(graph):
+    names = [n for n in graph.topological() if n != graph.input_name]
+    half = len(names) // 2
+    return [names[:half], names[half:]]
+
+
+def _case(name: str):
+    if name in ("chain", "bitops"):
+        graph = export_model(make_tiny_chain_model(), (16, 16, 3), name="tiny-chain")
+    else:
+        graph = export_model(make_tiny_resnet_model(), (16, 16, 3), name="tiny-resnet")
+    kwargs = {}
+    if name == "bitops":
+        kwargs["use_bitops"] = True
+    if name == "multi_dfe":
+        kwargs["partition"] = _half_partition(graph)
+    return graph, kwargs
+
+
+TOPOLOGIES = ["chain", "resnet", "bitops", "multi_dfe"]
+
+
+@pytest.fixture(scope="module")
+def traced_runs():
+    """One traced fast + exhaustive run per topology (they are not cheap)."""
+    runs = {}
+    for name in TOPOLOGIES:
+        graph, kwargs = _case(name)
+        images = _images(0)
+        t_fast, t_slow = Tracer(), Tracer()
+        fast = simulate(graph, images, fast=True, trace=t_fast, **kwargs)
+        slow = simulate(graph, images, fast=False, trace=t_slow, **kwargs)
+        runs[name] = (fast, slow, t_fast, t_slow)
+    return runs
+
+
+# -- scheduler equality -------------------------------------------------
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_fast_and_exhaustive_traces_identical(traced_runs, topology):
+    """The tentpole property: both schedulers emit the same event log."""
+    _, _, t_fast, t_slow = traced_runs[topology]
+    assert t_fast.state() == t_slow.state()
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_tracing_is_observationally_free(traced_runs, topology):
+    """A traced run has bit-identical stats to an untraced one."""
+    graph, kwargs = _case(topology)
+    fast, _, _, _ = traced_runs[topology]
+    bare = simulate(graph, _images(0), fast=True, **kwargs)
+    assert bare.cycles == fast.cycles
+    assert bare.run.completion_cycles == fast.run.completion_cycles
+    assert np.array_equal(bare.output, fast.output)
+    for name, stats in bare.run.kernel_stats.items():
+        assert dataclasses.asdict(fast.run.kernel_stats[name]) == dataclasses.asdict(stats)
+    for name, stats in bare.run.stream_stats.items():
+        assert dataclasses.asdict(fast.run.stream_stats[name]) == dataclasses.asdict(stats)
+
+
+# -- span/event structure ----------------------------------------------
+
+
+def test_spans_tile_the_run_exactly(traced_runs):
+    """Per kernel: spans are disjoint, contiguous, and cover [0, cycles)."""
+    fast, _, tracer, _ = traced_runs["chain"]
+    for kernel, spans in tracer.kernel_spans.items():
+        assert spans, f"{kernel}: no spans"
+        assert spans[0].start == 0, kernel
+        for a, b in zip(spans, spans[1:]):
+            assert b.start == a.end + 1, f"{kernel}: gap/overlap at {a}..{b}"
+        assert spans[-1].end == fast.cycles - 1, kernel
+
+
+def test_span_cycles_match_aggregate_counters(traced_runs):
+    """Summed span lengths reproduce every KernelStats counter."""
+    fast, _, tracer, _ = traced_runs["resnet"]
+    for name, stats in fast.run.kernel_stats.items():
+        by_kind: dict[str, int] = {}
+        for span in tracer.kernel_spans[name]:
+            by_kind[span.kind] = by_kind.get(span.kind, 0) + span.cycles
+        assert by_kind.get("compute", 0) == stats.active_cycles, name
+        assert by_kind.get("starved", 0) == stats.input_starved_cycles, name
+        assert by_kind.get("blocked", 0) == stats.output_blocked_cycles, name
+        assert by_kind.get("idle", 0) == stats.idle_cycles, name
+
+
+def test_stream_events_match_aggregate_counters(traced_runs):
+    """Push/pop event counts and reject span cycles match StreamStats."""
+    fast, _, tracer, _ = traced_runs["chain"]
+    for name, stats in fast.run.stream_stats.items():
+        events = tracer.stream_events[name]
+        assert sum(1 for e in events if e.kind == "push") == stats.pushes, name
+        assert sum(1 for e in events if e.kind == "pop") == stats.pops, name
+        rejected = sum(s.cycles for s in tracer.reject_spans[name])
+        assert rejected == stats.full_rejections, name
+        # max_occupancy is the instantaneous peak, visible in the raw
+        # per-event occupancies (the step timeline keeps only each cycle's
+        # final depth, which can sit below a mid-cycle push+pop peak).
+        if events:
+            assert max(e.occupancy for e in events) == stats.max_occupancy, name
+
+
+def test_completions_match_run(traced_runs):
+    fast, _, tracer, _ = traced_runs["chain"]
+    assert [c.cycle for c in tracer.completions] == fast.run.completion_cycles
+    assert [c.index for c in tracer.completions] == list(range(len(tracer.completions)))
+
+
+def test_occupancy_timeline_is_bounded_and_steps(traced_runs):
+    """Occupancy samples stay within [0, capacity] and cycles increase."""
+    _, _, tracer, _ = traced_runs["chain"]
+    for name, meta in tracer._stream_meta.items():
+        timeline = tracer.occupancy_timeline(name)
+        cycles = [c for c, _ in timeline]
+        assert cycles == sorted(set(cycles)), name
+        for _, occupancy in timeline:
+            assert 0 <= occupancy <= meta["capacity"], name
+
+
+def test_link_transits_only_on_latency_streams(traced_runs):
+    """multi_dfe crossing streams report transits of exactly their latency."""
+    _, _, tracer, _ = traced_runs["multi_dfe"]
+    latency_streams = [n for n, m in tracer._stream_meta.items() if m["latency"] > 0]
+    assert latency_streams, "multi_dfe case must produce at least one link stream"
+    for name in tracer._stream_meta:
+        transits = tracer.link_transits(name)
+        if name not in latency_streams:
+            assert transits == []
+            continue
+        latency = tracer._stream_meta[name]["latency"]
+        assert transits
+        for pushed, ready in transits:
+            assert ready - pushed == 1 + latency, name
+
+
+# -- analysis parity ----------------------------------------------------
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+def test_analyze_trace_matches_analyze_run(traced_runs, topology):
+    """The event log derives the same PipelineTrace as the aggregate stats."""
+    fast, _, tracer, _ = traced_runs[topology]
+    from_stats = analyze_run(fast.run, skip_idle=False)
+    from_trace = analyze_trace(tracer, skip_idle=False)
+    assert from_trace.total_cycles == from_stats.total_cycles
+    assert {w.name: w for w in from_trace.windows} == {w.name: w for w in from_stats.windows}
+
+
+# -- Chrome-trace export -----------------------------------------------
+
+
+def test_chrome_trace_round_trips_and_validates(traced_runs, tmp_path):
+    fast, _, tracer, _ = traced_runs["multi_dfe"]
+    path = tracer.write_chrome_trace(tmp_path / "trace.json")
+    data = load_chrome_trace(path)
+    events = data["traceEvents"]
+    assert data["otherData"]["total_cycles"] == fast.cycles
+    phases = {e["ph"] for e in events}
+    # Metadata, spans, counters, async transit pairs, and instants all present.
+    assert {"M", "X", "C", "b", "e", "i"} <= phases
+    for event in events:
+        assert isinstance(event["name"], str)
+        assert event["pid"] in (0, 1)
+        if event["ph"] in ("X", "C", "b", "e", "i"):
+            assert 0 <= event["ts"] <= fast.cycles
+        if event["ph"] == "X":
+            assert event["dur"] >= 1
+    begins = sorted(e["id"] for e in events if e["ph"] == "b")
+    ends = sorted(e["id"] for e in events if e["ph"] == "e")
+    assert begins and begins == ends
+    # The file is a single JSON object Perfetto can load directly.
+    assert json.loads(path.read_text())["displayTimeUnit"] == "ms"
+
+
+def test_tracer_is_single_use():
+    graph, kwargs = _case("chain")
+    tracer = Tracer()
+    simulate(graph, _images(1, n=1), trace=tracer, **kwargs)
+    with pytest.raises(ValueError, match="single-use"):
+        simulate(graph, _images(1, n=1), trace=tracer, **kwargs)

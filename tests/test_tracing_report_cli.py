@@ -72,6 +72,45 @@ class TestTracing:
         with pytest.raises(ValueError):
             analyze_run(empty)
 
+    def test_idle_kernels_keep_no_fake_window(self, chain_run):
+        """skip_idle=False must not fabricate [0, 0] windows for dead kernels.
+
+        A never-active kernel used to appear as first=last=0, silently
+        shrinking the initiation interval and steady fraction; it must now
+        surface as an explicit idle window excluded from interval math.
+        """
+        from dataclasses import replace
+
+        from repro.dataflow.engine import RunResult
+        from repro.dataflow.kernel import KernelStats
+
+        stats = dict(chain_run.run.kernel_stats)
+        stats["dead"] = KernelStats(input_starved_cycles=chain_run.cycles)
+        run = replace(chain_run.run, kernel_stats=stats)
+
+        trace = analyze_run(run, skip_idle=False)
+        dead = next(w for w in trace.windows if w.name == "dead")
+        assert dead.is_idle
+        assert dead.first_active is None and dead.last_active is None
+        assert dead.live_span == 0 and dead.duty_cycle == 0.0
+        baseline = analyze_run(chain_run.run)
+        assert trace.initiation_interval == baseline.initiation_interval
+        assert trace.steady_fraction == baseline.steady_fraction
+        # The idle kernel's stalls stay visible in the report and waterfall.
+        assert ("dead", chain_run.cycles, 0) in trace.stall_report()
+        assert "idle" in render_waterfall(trace)
+
+    def test_skip_idle_default_drops_idle_windows(self, chain_run):
+        from dataclasses import replace
+
+        from repro.dataflow.kernel import KernelStats
+
+        stats = dict(chain_run.run.kernel_stats)
+        stats["dead"] = KernelStats()
+        run = replace(chain_run.run, kernel_stats=stats)
+        names = {w.name for w in analyze_run(run).windows}
+        assert "dead" not in names
+
 
 class TestDesignReport:
     @pytest.fixture(scope="class")
@@ -133,6 +172,21 @@ class TestCLI:
 
     def test_simulate_bad_size(self, capsys):
         assert cli_main(["simulate", "--size", "15"]) == 2
+
+    def test_trace_writes_chrome_json(self, capsys, tmp_path):
+        from repro.dataflow import load_chrome_trace
+
+        out = tmp_path / "trace.json"
+        assert cli_main(["trace", "--size", "16", "--images", "2", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "cycles" in text and "initiation interval" in text
+        assert "ui.perfetto.dev" in text
+        data = load_chrome_trace(out)
+        assert data["otherData"]["total_cycles"] > 0
+        assert any(e.get("ph") == "X" for e in data["traceEvents"])
+
+    def test_trace_bad_size(self, capsys, tmp_path):
+        assert cli_main(["trace", "--size", "15", "--out", str(tmp_path / "t.json")]) == 2
 
     def test_unknown_network_rejected(self):
         with pytest.raises(SystemExit):
