@@ -14,6 +14,11 @@ Commands
     Stream a network with event tracing enabled and write the full
     cycle-exact event log as Chrome-trace JSON (load it at
     https://ui.perfetto.dev or chrome://tracing).
+``check [TOPOLOGY ...] [--multi-dfe] [--strict] [--graph-only]``
+    Statically verify pipelines without simulating a cycle: graph
+    well-formedness, stream bitwidth contracts, §III-B5 skip buffer
+    sizing (exact solver), link feasibility, BRAM geometry.  Topologies
+    are ``name[:size[:width]]`` with name in vgg/alexnet/resnet18.
 ``list``
     List available experiment ids.
 """
@@ -116,6 +121,56 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+DEFAULT_CHECK_TOPOLOGIES = ["vgg:16:0.0625", "vgg:32:0.25", "alexnet:64:0.25", "resnet18:32:0.25"]
+
+
+def _check_graph(name: str, size: int | None, width: float | None):
+    from .models import direct_alexnet_graph, direct_resnet18_graph, direct_vgg_graph
+
+    if name == "vgg":
+        return direct_vgg_graph(size or 32, width=width or 1.0, classes=4)
+    if name == "alexnet":
+        return direct_alexnet_graph(size or 224, width=width or 1.0)
+    if name == "resnet18":
+        return direct_resnet18_graph(size or 224, width=width or 1.0)
+    raise ValueError(f"unknown network {name!r} (want vgg, alexnet or resnet18)")
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .dataflow.verify import verify
+
+    specs = args.topologies or DEFAULT_CHECK_TOPOLOGIES
+    n_errors = n_warnings = 0
+    for spec in specs:
+        parts = spec.split(":")
+        name = parts[0]
+        size = int(parts[1]) if len(parts) > 1 and parts[1] else None
+        width = float(parts[2]) if len(parts) > 2 and parts[2] else None
+        try:
+            graph = _check_graph(name, size, width)
+        except ValueError as exc:
+            print(f"check {spec}: {exc}", file=sys.stderr)
+            return 2
+        partition = None
+        if args.multi_dfe:
+            from .hardware.partition import partition_network
+
+            partition = partition_network(graph).groups
+        report = verify(
+            graph,
+            partition=partition,
+            exact=args.exact,
+            build=not args.graph_only,
+        )
+        print(report.render(show_info=not args.no_info))
+        print()
+        n_errors += len(report.errors)
+        n_warnings += len(report.warnings)
+    if n_errors or (args.strict and n_warnings):
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -156,6 +211,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace the exhaustive reference scheduler instead of the fast path",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_check = sub.add_parser(
+        "check", help="statically verify pipelines (no cycle is simulated)"
+    )
+    p_check.add_argument(
+        "topologies",
+        nargs="*",
+        help=(
+            "topologies as name[:size[:width]] with name in vgg/alexnet/resnet18 "
+            f"(default: {' '.join(DEFAULT_CHECK_TOPOLOGIES)})"
+        ),
+    )
+    p_check.add_argument(
+        "--multi-dfe",
+        action="store_true",
+        help="partition with the resource partitioner and verify link feasibility",
+    )
+    p_check.add_argument(
+        "--strict", action="store_true", help="exit non-zero on warnings too"
+    )
+    p_check.add_argument(
+        "--graph-only",
+        action="store_true",
+        help="skip pipeline construction (graph-level checks only; cheap at paper scale)",
+    )
+    p_check.add_argument("--no-info", action="store_true", help="hide info-level findings")
+    exact_group = p_check.add_mutually_exclusive_group()
+    exact_group.add_argument(
+        "--exact",
+        dest="exact",
+        action="store_true",
+        default=None,
+        help="force the exact §III-B5 skip solver (default: auto by replay budget)",
+    )
+    exact_group.add_argument(
+        "--bound",
+        dest="exact",
+        action="store_false",
+        help="skip the solver; use the closed-form §III-B5 bound",
+    )
+    p_check.set_defaults(func=_cmd_check)
     return parser
 
 

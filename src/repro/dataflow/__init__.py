@@ -5,7 +5,6 @@ from .kernel import Kernel, KernelStats
 from .links import MAXRING, PCIE_GEN2_X8, LinkSpec, required_bandwidth_mbps
 from .manager import (
     DEFAULT_STREAM_CAPACITY,
-    SKIP_STREAM_CAPACITY,
     LinkCrossing,
     Pipeline,
     StreamingRun,
@@ -22,6 +21,16 @@ from .trace import (
     load_chrome_trace,
 )
 from .tracing import KernelWindow, PipelineTrace, analyze_run, analyze_trace, render_waterfall
+from .verify import (
+    Diagnostic,
+    VerifyReport,
+    check_skip_high_water,
+    skip_formula_bound,
+    solve_skip_capacities,
+    verify,
+    verify_graph,
+    verify_pipeline,
+)
 from .window import (
     ScanWindow,
     depth_first_buffer_elements,
@@ -39,12 +48,19 @@ __all__ = [
     "LinkSpec",
     "required_bandwidth_mbps",
     "DEFAULT_STREAM_CAPACITY",
-    "SKIP_STREAM_CAPACITY",
     "LinkCrossing",
     "Pipeline",
     "StreamingRun",
     "build_pipeline",
     "simulate",
+    "Diagnostic",
+    "VerifyReport",
+    "check_skip_high_water",
+    "skip_formula_bound",
+    "solve_skip_capacities",
+    "verify",
+    "verify_graph",
+    "verify_pipeline",
     "KernelWindow",
     "PipelineTrace",
     "analyze_run",

@@ -159,10 +159,7 @@ class Engine:
                 kernel.tick(cycle)
             cycle += 1
             if cycle >= max_cycles:
-                raise RuntimeError(
-                    f"engine {self.name!r}: no convergence after {max_cycles} cycles "
-                    "(deadlock or undersized run budget)"
-                )
+                raise self._no_convergence(max_cycles)
         return cycle
 
     def _run_exhaustive_traced(
@@ -177,10 +174,7 @@ class Engine:
                 on_tick(kernel.name, cycle, kernel.tick(cycle))
             cycle += 1
             if cycle >= max_cycles:
-                raise RuntimeError(
-                    f"engine {self.name!r}: no convergence after {max_cycles} cycles "
-                    "(deadlock or undersized run budget)"
-                )
+                raise self._no_convergence(max_cycles)
         return cycle
 
     # -- fast path -------------------------------------------------------
@@ -290,10 +284,50 @@ class Engine:
                     self._account(kernel, skipped)
                 kernel._parked = False
                 kernel._wake_at = WAKE_NEVER
-        raise RuntimeError(
+        raise self._no_convergence(max_cycles)
+
+    def _no_convergence(self, max_cycles: int) -> RuntimeError:
+        """Build the abort error, naming the starved/blocked edges at abort.
+
+        A deadlocked pipeline shows a cycle of blame: some kernel blocked on
+        a full stream (usually an undersized skip FIFO) starves everything
+        downstream of it.  Reporting each stalled kernel with the offending
+        stream's occupancy turns "no convergence" into a pointer at the
+        exact edge; the static verifier can then name the minimum safe
+        capacity without re-running anything.
+        """
+        cycle = max_cycles  # visibility at the abort point (all pushes settled)
+        lines: list[str] = []
+        for kernel in self.kernels:
+            full = [s for s in kernel.outputs if len(s._fifo) >= s.capacity]
+            if full:
+                detail = ", ".join(
+                    f"full {s.name!r} (occupancy {len(s._fifo)}/{s.capacity})" for s in full
+                )
+                lines.append(f"    {kernel.name}: blocked on {detail}")
+                continue
+            starved = [s for s in kernel.inputs if s.ready_count(cycle) == 0]
+            if kernel.inputs and starved:
+                detail = ", ".join(
+                    f"{s.name!r} (occupancy {len(s._fifo)}/{s.capacity}, 0 ready)"
+                    for s in starved
+                )
+                lines.append(f"    {kernel.name}: starved on empty {detail}")
+        message = (
             f"engine {self.name!r}: no convergence after {max_cycles} cycles "
             "(deadlock or undersized run budget)"
         )
+        if lines:
+            shown = lines[:8]
+            if len(lines) > len(shown):
+                shown.append(f"    ... and {len(lines) - len(shown)} more stalled kernels")
+            message += (
+                "\n  stalled kernels at abort:\n"
+                + "\n".join(shown)
+                + "\n  hint: `python -m repro check` statically verifies FIFO sizing, "
+                "bitwidths and partition feasibility before any cycle is simulated"
+            )
+        return RuntimeError(message)
 
     def _account(self, kernel: Kernel, skipped: int) -> None:
         """Replay ``skipped`` stall cycles' worth of counters on a parked kernel."""

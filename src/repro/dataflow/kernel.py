@@ -16,9 +16,13 @@ overlap, initiation intervals, and stall causes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
 
 from .stream import Stream
+
+if TYPE_CHECKING:
+    from .trace import Tracer
 
 __all__ = ["Kernel", "KernelStats", "STALL_STARVED", "STALL_BLOCKED", "STALL_IDLE", "WAKE_NEVER"]
 
@@ -62,7 +66,7 @@ class Kernel:
     # True for kernels whose blocked cycles attempt a push (and therefore
     # count a full_rejection on outputs[0] every blocked cycle); the fast
     # scheduler replays those rejections for parked cycles.
-    blocked_rejects_output = False
+    blocked_rejects_output: ClassVar[bool] = False
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -81,7 +85,7 @@ class Kernel:
         # of a traced run.  The engine records tick classifications itself;
         # this handle is for kernel-level events the engine cannot see,
         # e.g. the host sink's per-image completions.
-        self._tracer = None
+        self._tracer: Tracer | None = None
 
     def connect_input(self, stream: Stream) -> None:
         self.inputs.append(stream)

@@ -32,6 +32,7 @@ from ..nn.graph import (
     InputNode,
     LayerGraph,
     MaxPoolNode,
+    TensorSpec,
     ThresholdNode,
 )
 from .engine import Engine, RunResult
@@ -40,13 +41,21 @@ from .links import MAXRING, PCIE_GEN2_X8, LinkSpec, required_bandwidth_mbps
 from .stream import Stream
 from .trace import Tracer
 
-__all__ = ["build_pipeline", "simulate", "StreamingRun", "LinkCrossing", "SKIP_STREAM_CAPACITY"]
+__all__ = ["build_pipeline", "simulate", "StreamingRun", "LinkCrossing", "Pipeline"]
 
-# Skip-path delay buffers are sized generously in simulation and their
-# *actual* high-water mark is asserted against the §III-B5 formula in tests,
-# turning the paper's "never creates delays by itself" claim into a check.
-SKIP_STREAM_CAPACITY = 1 << 22
 DEFAULT_STREAM_CAPACITY = 4
+
+# Skip-path delay buffers get their *exact* §III-B5 size from the static
+# verifier (`skip_sizing="exact"`, the default): the solver replays the
+# value-independent schedule on a zero batch and reads the high-water mark.
+# The engine's measured high-water is asserted back against that static
+# prediction after every run (see verify.check_skip_high_water), turning the
+# paper's "never creates delays by itself" claim into a round-trip check.
+#
+# `skip_sizing="bound"` sizes by the closed-form §III-B5 formula plus an
+# in-flight slack (no replay — cheap for paper-scale graphs), and
+# `skip_sizing="replay"` is the solver's own unbounded-in-practice mode.
+_REPLAY_SKIP_CAPACITY = 1 << 22
 
 
 @dataclass(frozen=True)
@@ -73,6 +82,11 @@ class Pipeline:
     skip_streams: dict[str, Stream]
     crossings: list[LinkCrossing]
     dfe_of_node: dict[str, int]
+    partition: list[list[str]] | None = None
+    link: LinkSpec = MAXRING
+    fclk_mhz: float = 105.0
+    skip_sizing: str = "exact"  # "exact" | "bound" | "replay" | "custom"
+    skip_capacities: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -110,6 +124,46 @@ def _node_to_kernel(graph: LayerGraph, name: str, use_bitops: bool) -> Kernel:
     raise TypeError(f"no streaming kernel for node type {type(node).__name__}")
 
 
+def _resolve_skip_capacities(
+    graph: LayerGraph,
+    skip_sizing: str | dict[str, int],
+    partition: list[list[str]] | None,
+    link: LinkSpec,
+    fclk_mhz: float,
+) -> tuple[dict[str, int], str]:
+    """Capacity of every skip delay FIFO, per the chosen sizing mode."""
+    adds = [n for n in graph.order if isinstance(graph.nodes[n], AddNode)]
+    if not isinstance(skip_sizing, str):
+        caps = {name: int(cap) for name, cap in skip_sizing.items()}
+        missing = [n for n in adds if n not in caps]
+        if missing:
+            raise ValueError(f"skip_sizing mapping misses residual adders: {missing}")
+        return caps, "custom"
+    if not adds:
+        return {}, skip_sizing if skip_sizing in ("exact", "bound", "replay") else "exact"
+    if skip_sizing == "exact":
+        # Lazy import: verify's solver builds a replay pipeline through this
+        # very module.
+        from .verify import solve_skip_capacities
+
+        return (
+            solve_skip_capacities(graph, partition=partition, link=link, fclk_mhz=fclk_mhz),
+            "exact",
+        )
+    if skip_sizing == "bound":
+        from .verify import SKIP_FORMULA_SLACK, skip_formula_bound
+
+        return (
+            {n: skip_formula_bound(graph, n) + SKIP_FORMULA_SLACK for n in adds},
+            "bound",
+        )
+    if skip_sizing == "replay":
+        return {n: _REPLAY_SKIP_CAPACITY for n in adds}, "replay"
+    raise ValueError(
+        f"skip_sizing must be 'exact', 'bound', 'replay' or a mapping, got {skip_sizing!r}"
+    )
+
+
 def build_pipeline(
     graph: LayerGraph,
     images: np.ndarray,
@@ -118,6 +172,7 @@ def build_pipeline(
     link: LinkSpec = MAXRING,
     host_link: LinkSpec = PCIE_GEN2_X8,
     fclk_mhz: float = 105.0,
+    skip_sizing: str | dict[str, int] = "exact",
 ) -> Pipeline:
     """Instantiate kernels and streams for ``graph``.
 
@@ -133,8 +188,16 @@ def build_pipeline(
         Optional list of node-name groups, one per DFE, covering all
         compute nodes contiguously in topological order.  ``None`` puts
         everything on one DFE.
+    skip_sizing:
+        How skip delay FIFOs are sized: ``"exact"`` (default) asks the
+        static verifier's §III-B5 solver for the sharp per-adder minimum,
+        ``"bound"`` uses the paper's closed-form formula plus slack,
+        ``"replay"`` is the effectively-unbounded mode the solver itself
+        builds with, and a ``{add_node: capacity}`` mapping overrides
+        everything (fault injection, experiments).
     """
     graph.validate()
+    skip_caps, skip_mode = _resolve_skip_capacities(graph, skip_sizing, partition, link, fclk_mhz)
     images = np.asarray(images)
     if images.ndim == 3:
         images = images[None]
@@ -205,7 +268,7 @@ def build_pipeline(
             prod = fork
         for consumer_kernel, port in sorted(targets, key=lambda t: t[1]):
             _wire(
-                engine, graph, prod, consumer_kernel, name, port, spec, dfe_of_node, link, fclk_mhz, crossings, skip_streams
+                engine, graph, prod, consumer_kernel, name, port, spec, dfe_of_node, link, fclk_mhz, crossings, skip_streams, skip_caps
             )
 
     return Pipeline(
@@ -217,12 +280,17 @@ def build_pipeline(
         skip_streams=skip_streams,
         crossings=crossings,
         dfe_of_node=dfe_of_node,
+        partition=partition,
+        link=link,
+        fclk_mhz=fclk_mhz,
+        skip_sizing=skip_mode,
+        skip_capacities=dict(skip_caps),
     )
 
 
 def _make_stream(
     name: str,
-    spec,
+    spec: TensorSpec,
     prod: Kernel,
     cons: Kernel,
     dfe_of_node: dict[str, int],
@@ -263,18 +331,19 @@ def _wire(
     consumer_kernel: Kernel,
     from_node: str,
     port: int,
-    spec,
+    spec: TensorSpec,
     dfe_of_node: dict[str, int],
     link: LinkSpec,
     fclk_mhz: float,
     crossings: list[LinkCrossing],
     skip_streams: dict[str, Stream],
+    skip_caps: dict[str, int],
 ) -> None:
     to_node = consumer_kernel.name.removesuffix(".fork")
     capacity = DEFAULT_STREAM_CAPACITY
     is_skip = isinstance(consumer_kernel, AddKernel) and port == 1
     if is_skip:
-        capacity = SKIP_STREAM_CAPACITY
+        capacity = skip_caps[to_node]
     stream = _make_stream(
         f"{from_node}->{to_node}[{port}]",
         spec,
@@ -303,6 +372,8 @@ def simulate(
     max_cycles: int = 50_000_000,
     fast: bool = True,
     trace: Tracer | None = None,
+    skip_sizing: str | dict[str, int] = "exact",
+    sanitize: bool = True,
 ) -> StreamingRun:
     """Cycle-accurately stream ``images`` through ``graph``.
 
@@ -315,13 +386,31 @@ def simulate(
     :class:`~repro.dataflow.trace.Tracer` as ``trace`` records the run's
     full cycle-exact event log (identical for both schedulers) for
     Perfetto export and occupancy analysis.
+
+    ``sanitize=True`` (default) asserts every skip stream's measured
+    high-water mark against the static §III-B5 prediction after the run
+    (exact equality in steady state — the verifier's solver and the engine
+    must agree, or the run raises).
     """
+    images = np.asarray(images)
+    if images.ndim == 3:
+        images = images[None]
     pipeline = build_pipeline(
-        graph, images, use_bitops=use_bitops, partition=partition, link=link, fclk_mhz=fclk_mhz
+        graph,
+        images,
+        use_bitops=use_bitops,
+        partition=partition,
+        link=link,
+        fclk_mhz=fclk_mhz,
+        skip_sizing=skip_sizing,
     )
     cycles = pipeline.engine.run(
         lambda: pipeline.sink.done, max_cycles=max_cycles, fast=fast, trace=trace
     )
+    if sanitize and pipeline.skip_streams:
+        from .verify import check_skip_high_water
+
+        check_skip_high_water(pipeline, n_images=int(images.shape[0]))
     kstats, sstats = pipeline.engine.collect_stats()
     run = RunResult(
         cycles=cycles,

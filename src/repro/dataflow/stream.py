@@ -11,7 +11,12 @@ skip buffer never creates delays by itself" (§III-B5).
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .kernel import Kernel
+    from .trace import Tracer
 
 __all__ = ["Stream", "StreamStats"]
 
@@ -69,11 +74,11 @@ class Stream:
         self.stats = StreamStats()
         # Endpoint kernels (set by Engine.connect).  push/pop wake parked
         # endpoints directly (see the fast-path invariants in engine.py).
-        self.reader = None
-        self.writer = None
+        self.reader: Kernel | None = None
+        self.writer: Kernel | None = None
         # Event tracer installed by Engine.run(trace=...) for the duration
         # of a traced run; None keeps the hot path hook-free.
-        self.tracer = None
+        self.tracer: Tracer | None = None
 
     def __repr__(self) -> str:
         return f"Stream({self.name!r}, occ={len(self._fifo)}/{self.capacity})"

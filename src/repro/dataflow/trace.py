@@ -35,7 +35,10 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from .engine import Engine
 
 __all__ = [
     "ImageCompletion",
@@ -123,7 +126,7 @@ class Tracer:
         self._attached = False
 
     # -- engine lifecycle ------------------------------------------------
-    def attach(self, engine) -> None:
+    def attach(self, engine: Engine) -> None:
         """Register ``engine``'s kernels and streams and install hooks."""
         if self._attached or self.total_cycles is not None:
             raise ValueError("a Tracer is single-use; create a fresh one per run")
@@ -142,7 +145,7 @@ class Tracer:
             }
             stream.tracer = self
 
-    def detach(self, engine) -> None:
+    def detach(self, engine: Engine) -> None:
         for kernel in engine.kernels:
             kernel._tracer = None
         for stream in engine.streams:

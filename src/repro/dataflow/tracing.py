@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .engine import RunResult
+from .kernel import KernelStats
 from .trace import Tracer
 
 __all__ = ["KernelWindow", "PipelineTrace", "analyze_run", "analyze_trace", "render_waterfall"]
@@ -117,7 +118,7 @@ class PipelineTrace:
         return sorted(rows, key=lambda r: r[1] + r[2], reverse=True)
 
 
-def _window_from_stats(name: str, stats) -> KernelWindow:
+def _window_from_stats(name: str, stats: KernelStats) -> KernelWindow:
     return KernelWindow(
         name=name,
         first_active=stats.first_active_cycle,

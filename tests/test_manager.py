@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.dataflow import SKIP_STREAM_CAPACITY, build_pipeline
+from repro.dataflow import build_pipeline, skip_formula_bound, solve_skip_capacities
 from repro.kernels import AddKernel, ConvKernel, ForkKernel, MaxPoolKernel, ThresholdKernel
 from repro.nn import input_to_levels
 
@@ -52,10 +52,14 @@ class TestForks:
 
 
 class TestStreams:
-    def test_skip_streams_have_large_capacity(self, resnet_pipeline):
+    def test_skip_streams_sized_by_exact_solver(self, resnet_pipeline, tiny_resnet_graph):
         assert resnet_pipeline.skip_streams
-        for stream in resnet_pipeline.skip_streams.values():
-            assert stream.capacity == SKIP_STREAM_CAPACITY
+        assert resnet_pipeline.skip_sizing == "exact"
+        exact = solve_skip_capacities(tiny_resnet_graph)
+        for add_name, stream in resnet_pipeline.skip_streams.items():
+            assert stream.capacity == exact[add_name]
+            # the exact size never exceeds the closed-form §III-B5 bound
+            assert stream.capacity <= skip_formula_bound(tiny_resnet_graph, add_name)
 
     def test_regular_streams_small(self, chain_pipeline):
         for stream in chain_pipeline.engine.streams:
