@@ -78,13 +78,45 @@ def _tiny_chain_case():
     return graph, levels
 
 
+# Same-session rates, so the telemetry-overhead guard compares against the
+# hook-free rate measured on this very machine, not the recorded trajectory.
+_session_rates = {}
+
+
 def test_streaming_chain_simulation(benchmark):
     graph, levels = _tiny_chain_case()
 
     sr = benchmark(simulate, graph, levels)
     rate = _note_throughput(benchmark, "tiny_chain", sr)
     assert sr.cycles > 0
+    _session_rates["tiny_chain"] = rate
     _guard_regression("tiny_chain", rate)
+
+
+def test_streaming_chain_simulation_telemetry(benchmark):
+    """Telemetry sampling on: the enabled overhead must stay within 5%.
+
+    The collector reads aggregate counters once per ``sample_every`` cycles
+    instead of hooking every event, so the telemetered run should track the
+    plain run closely (the issue's bound: ≤5% overhead enabled, 0% when
+    disabled — the disabled side is the plain case's trajectory guard).
+    Strict mode enforces the 5%; the default bound absorbs shared-runner
+    noise.
+    """
+    from repro.telemetry import Telemetry
+
+    graph, levels = _tiny_chain_case()
+
+    sr = benchmark(lambda: simulate(graph, levels, telemetry=Telemetry()))
+    rate = _note_throughput(benchmark, "tiny_chain_telemetry", sr)
+    assert sr.cycles > 0
+    baseline = _session_rates.get("tiny_chain")
+    if baseline:
+        floor = 0.95 if os.environ.get("REPRO_BENCH_STRICT") else 0.60
+        assert rate >= baseline * floor, (
+            f"telemetry overhead too high: {rate:,.0f} vs {baseline:,.0f} "
+            f"hook-free simulated cycles/s (floor {floor:.0%})"
+        )
 
 
 def test_streaming_chain_simulation_traced(benchmark):

@@ -2,44 +2,29 @@
 
 Streaming-simulator benchmarks call :func:`record` with the simulated cycle
 count and the best wall time per round; at session end the benchmark
-``conftest`` flushes one trajectory entry (git revision, environment, and
-per-case ``simulated_cycles_per_second``) to ``BENCH_streaming.json`` at the
+``conftest`` flushes one trajectory entry (host manifest and per-case
+``simulated_cycles_per_second``) to ``BENCH_streaming.json`` at the
 repository root.  The file is an append-only list, so plotting it over
-commits shows whether a PR sped up or regressed the simulator.
+commits shows whether a PR sped up or regressed the simulator.  Each entry
+carries the full host manifest (interpreter, numpy, CPU count, platform,
+git describe) from :func:`repro.telemetry.manifest.host_manifest`, so
+trajectories from different machines stay distinguishable.
 """
 
 from __future__ import annotations
 
 import json
-import platform
-import subprocess
 import time
 from pathlib import Path
 from typing import Any
 
-import numpy as np
+from repro.telemetry.manifest import host_manifest
 
 __all__ = ["BENCH_PATH", "record", "flush"]
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
 
 _cases: dict[str, dict[str, Any]] = {}
-
-
-def _git_revision() -> str:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            capture_output=True,
-            text=True,
-            cwd=Path(__file__).resolve().parent,
-            timeout=10,
-        )
-        if out.returncode == 0:
-            return out.stdout.strip()
-    except OSError:
-        pass
-    return "unknown"
 
 
 def record(case: str, simulated_cycles: int, seconds: float, **extra: Any) -> None:
@@ -65,9 +50,7 @@ def flush() -> None:
     entries.append(
         {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-            "revision": _git_revision(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
+            **host_manifest(),
             "cases": dict(sorted(_cases.items())),
         }
     )

@@ -7,13 +7,22 @@ Commands
 ``report NETWORK [--size N] [--device stratix5|stratix10]``
     Full design report (resources / partition / timing / power / GPU
     baseline) for ``vgg``, ``alexnet`` or ``resnet18``.
-``simulate [--size N] [--images M]``
+``simulate [--size N] [--images M] [--json] [--prom F] [--snapshot F]``
     Train nothing, build a tiny random-threshold network, stream images
-    through the cycle-accurate simulator and print the pipeline waterfall.
-``trace [--size N] [--images M] [--out trace.json]``
+    through the cycle-accurate simulator and print the pipeline waterfall
+    (or, with ``--json``, a machine-readable telemetry snapshot).
+``trace [--size N] [--images M] [--out trace.json] [--force]``
     Stream a network with event tracing enabled and write the full
     cycle-exact event log as Chrome-trace JSON (load it at
     https://ui.perfetto.dev or chrome://tracing).
+``top [--size N] [--images M] [--every N]``
+    Live dashboard: kernel utilization bars, FIFO occupancy and
+    throughput, re-rendered while the simulation runs in-process.
+``stats [--network vgg|resnet18] [--skip-capacity N]``
+    Bottleneck attribution: kernels ranked by stall-adjusted utilization,
+    the starving/back-pressuring edge for each, and the paper summary
+    (II, FPS, link budget, BRAM waste).  ``--skip-capacity`` injects
+    undersized skip FIFOs to demonstrate deadlock attribution.
 ``check [TOPOLOGY ...] [--multi-dfe] [--strict] [--graph-only]``
     Statically verify pipelines without simulating a cycle: graph
     well-formedness, stream bitwidth contracts, §III-B5 skip buffer
@@ -70,19 +79,69 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
-    from .dataflow import simulate
-    from .dataflow.tracing import analyze_run, render_waterfall
+def _tiny_vgg(args: argparse.Namespace):
+    """The CLI's stock tiny network + input batch (simulate/trace/top)."""
     from .models import direct_vgg_graph
 
     size = args.size
     if size % 8:
-        print(f"size must be divisible by 8, got {size}", file=sys.stderr)
-        return 2
+        raise ValueError(f"size must be divisible by 8, got {size}")
     graph = direct_vgg_graph(size, width=0.0625, classes=4)
     rng = np.random.default_rng(args.seed)
     images = rng.integers(0, 4, size=(args.images, size, size, 3))
-    run = simulate(graph, images)
+    return graph, images
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    import json
+
+    from .dataflow import simulate
+    from .dataflow.tracing import analyze_run, render_waterfall
+
+    try:
+        graph, images = _tiny_vgg(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    telemetry = None
+    if args.json or args.prom or args.snapshot:
+        from .telemetry import PeriodicExporter, Telemetry, run_manifest
+
+        telemetry = Telemetry(sample_every=args.every)
+        telemetry.manifest = run_manifest(
+            graph, seed=args.seed, images=args.images, fclk_mhz=105.0
+        )
+        if args.prom or args.snapshot:
+            try:
+                telemetry.add_listener(
+                    PeriodicExporter(
+                        prom_path=args.prom, json_path=args.snapshot, force=args.force
+                    )
+                )
+            except FileExistsError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+
+    run = simulate(graph, images, telemetry=telemetry)
+
+    if args.json:
+        assert telemetry is not None
+        payload = telemetry.export_json()
+        stats: dict[str, object] = {
+            "cycles": run.cycles,
+            "latency_cycles": run.latency_cycles,
+            "images": int(images.shape[0]),
+            "initiation_interval_cycles": telemetry.last.get("initiation"),
+        }
+        if args.images > 1:
+            interval = run.run.steady_state_interval
+            stats["steady_state_interval_cycles"] = interval
+            stats["fps"] = run.pipeline.fclk_mhz * 1e6 / interval
+        payload["stats"] = stats
+        print(json.dumps(payload, indent=2))
+        return 0
+
     print(
         f"{args.images} image(s) through {graph.name}: {run.cycles:,} cycles; "
         f"latency {run.latency_cycles:,}"
@@ -91,21 +150,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"steady-state interval: {run.run.steady_state_interval:,.0f} cycles/image")
     trace = analyze_run(run.run)
     print(render_waterfall(trace))
+    if args.prom:
+        print(f"wrote Prometheus exposition to {args.prom}")
+    if args.snapshot:
+        print(f"wrote telemetry snapshot to {args.snapshot}")
     return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from .dataflow import Tracer, simulate
     from .dataflow.tracing import analyze_trace, render_waterfall
-    from .models import direct_vgg_graph
 
-    size = args.size
-    if size % 8:
-        print(f"size must be divisible by 8, got {size}", file=sys.stderr)
+    try:
+        graph, images = _tiny_vgg(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
         return 2
-    graph = direct_vgg_graph(size, width=0.0625, classes=4)
-    rng = np.random.default_rng(args.seed)
-    images = rng.integers(0, 4, size=(args.images, size, size, 3))
+    if Path(args.out).exists() and not args.force:
+        print(f"{args.out} exists; pass --force to overwrite", file=sys.stderr)
+        return 2
     tracer = Tracer()
     run = simulate(graph, images, fast=not args.exhaustive, trace=tracer)
     path = tracer.write_chrome_trace(args.out)
@@ -119,6 +184,65 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         "open in https://ui.perfetto.dev"
     )
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .dataflow import simulate
+    from .telemetry import Dashboard, Telemetry
+
+    try:
+        graph, images = _tiny_vgg(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    telemetry = Telemetry(sample_every=args.every)
+    telemetry.add_listener(
+        Dashboard(ansi=False if args.plain else None, min_interval_s=args.refresh)
+    )
+    run = simulate(graph, images, telemetry=telemetry)
+    print(
+        f"\n{args.images} image(s) through {graph.name}: {run.cycles:,} cycles; "
+        f"latency {run.latency_cycles:,}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .models import direct_resnet18_graph, direct_vgg_graph
+    from .nn.graph import AddNode
+    from .telemetry import run_attributed
+
+    size = args.size
+    if args.network == "vgg":
+        if size % 8:
+            print(f"size must be divisible by 8, got {size}", file=sys.stderr)
+            return 2
+        graph = direct_vgg_graph(size, width=args.width, classes=4)
+    else:
+        graph = direct_resnet18_graph(size, width=args.width, classes=4, stages=[(64, 1, 1)])
+    rng = np.random.default_rng(args.seed)
+    images = rng.integers(0, 4, size=(args.images, size, size, 3))
+
+    skip_sizing: str | dict[str, int] = "exact"
+    if args.skip_capacity is not None:
+        adds = [n for n, node in graph.nodes.items() if isinstance(node, AddNode)]
+        if not adds:
+            print(
+                f"--skip-capacity needs a residual topology; {graph.name} has no adders",
+                file=sys.stderr,
+            )
+            return 2
+        skip_sizing = {n: args.skip_capacity for n in adds}
+
+    report = run_attributed(
+        graph,
+        images,
+        skip_sizing=skip_sizing,
+        max_cycles=args.max_cycles,
+        fast=not args.exhaustive,
+    )
+    print(report.render())
+    return 1 if report.aborted else 0
 
 
 DEFAULT_CHECK_TOPOLOGIES = ["vgg:16:0.0625", "vgg:32:0.25", "alexnet:64:0.25", "resnet18:32:0.25"]
@@ -196,6 +320,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--size", type=int, default=16)
     p_sim.add_argument("--images", type=int, default=1)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--json",
+        action="store_true",
+        help="print a machine-readable telemetry snapshot instead of the waterfall",
+    )
+    p_sim.add_argument(
+        "--prom", default=None, help="write the Prometheus text exposition to this file"
+    )
+    p_sim.add_argument(
+        "--snapshot", default=None, help="write the JSON telemetry snapshot to this file"
+    )
+    p_sim.add_argument(
+        "--every", type=int, default=256, help="telemetry sample cadence in simulated cycles"
+    )
+    p_sim.add_argument(
+        "--force", action="store_true", help="overwrite existing --prom/--snapshot files"
+    )
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_trace = sub.add_parser(
@@ -210,7 +351,53 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="trace the exhaustive reference scheduler instead of the fast path",
     )
+    p_trace.add_argument(
+        "--force", action="store_true", help="overwrite an existing --out file"
+    )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard over an in-process simulation"
+    )
+    p_top.add_argument("--size", type=int, default=16)
+    p_top.add_argument("--images", type=int, default=2)
+    p_top.add_argument("--seed", type=int, default=0)
+    p_top.add_argument(
+        "--every", type=int, default=256, help="telemetry sample cadence in simulated cycles"
+    )
+    p_top.add_argument(
+        "--refresh", type=float, default=0.2, help="minimum seconds between redraws"
+    )
+    p_top.add_argument(
+        "--plain",
+        action="store_true",
+        help="append plain-text frames instead of redrawing in place",
+    )
+    p_top.set_defaults(func=_cmd_top)
+
+    p_stats = sub.add_parser(
+        "stats", help="bottleneck attribution report for a simulated run"
+    )
+    p_stats.add_argument("--network", choices=["vgg", "resnet18"], default="vgg")
+    p_stats.add_argument("--size", type=int, default=16)
+    p_stats.add_argument("--width", type=float, default=0.0625)
+    p_stats.add_argument("--images", type=int, default=2)
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument(
+        "--skip-capacity",
+        type=int,
+        default=None,
+        help="fault injection: force every skip FIFO to this capacity",
+    )
+    p_stats.add_argument(
+        "--max-cycles", type=int, default=10_000_000, help="abort budget in cycles"
+    )
+    p_stats.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="use the exhaustive reference scheduler instead of the fast path",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_check = sub.add_parser(
         "check", help="statically verify pipelines (no cycle is simulated)"

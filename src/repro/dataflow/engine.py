@@ -17,12 +17,16 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .kernel import STALL_BLOCKED, STALL_STARVED, WAKE_NEVER, Kernel, KernelStats
 from .stream import Stream, StreamStats
 from .trace import Tracer
+
+if TYPE_CHECKING:
+    from ..telemetry.collector import Telemetry
 
 __all__ = ["Engine", "RunResult"]
 
@@ -84,6 +88,9 @@ class Engine:
         # the engine so the bulk stall accounting can synthesize the spans
         # the fast path never ticked.
         self._tracer: Tracer | None = None
+        # Active telemetry collector (None = telemetry off).  The run loops
+        # pay one `is not None` test per cycle for it — no per-event hooks.
+        self._telemetry: Telemetry | None = None
 
     def add_kernel(self, kernel: Kernel) -> Kernel:
         self.kernels.append(kernel)
@@ -107,6 +114,7 @@ class Engine:
         max_cycles: int = 50_000_000,
         fast: bool = True,
         trace: Tracer | None = None,
+        telemetry: "Telemetry | None" = None,
     ) -> int:
         """Tick kernels until ``done()`` is true; returns the cycle count.
 
@@ -125,6 +133,15 @@ class Engine:
         cycle timestamps.  Both schedulers produce the identical event log
         (the fast path synthesizes stall spans for the cycles it skipped);
         tracing changes no observable behaviour, only records it.
+
+        ``telemetry`` accepts a fresh
+        :class:`~repro.telemetry.collector.Telemetry`; the run loops sample
+        it every ``telemetry.sample_every`` simulated cycles (mirroring the
+        aggregate counters into its metrics registry) and seal it with a
+        final sample at the run's cycle count, which therefore reconciles
+        exactly with :meth:`collect_stats`.  On a non-converging run the
+        collector is left unsealed for the caller (see
+        :func:`repro.telemetry.attribution.run_attributed`).
         """
         if max_cycles <= 0:
             raise ValueError(
@@ -133,7 +150,10 @@ class Engine:
             )
         if trace is not None:
             trace.attach(self)
+        if telemetry is not None:
+            telemetry.attach(self)
         self._tracer = trace
+        self._telemetry = telemetry
         try:
             if fast:
                 cycles = self._run_fast(done, max_cycles)
@@ -141,9 +161,12 @@ class Engine:
                 cycles = self._run_exhaustive(done, max_cycles)
             if trace is not None:
                 trace.finish(cycles)
+            if telemetry is not None:
+                telemetry.finish(cycles)
             return cycles
         finally:
             self._tracer = None
+            self._telemetry = None
             if trace is not None:
                 trace.detach(self)
 
@@ -152,12 +175,15 @@ class Engine:
         tracer = self._tracer
         if tracer is not None:
             return self._run_exhaustive_traced(done, max_cycles, tracer)
+        telemetry = self._telemetry
         cycle = 0
         kernels = self.kernels
         while not done():
             for kernel in kernels:
                 kernel.tick(cycle)
             cycle += 1
+            if telemetry is not None and cycle >= telemetry.next_sample_at:
+                telemetry.sample(cycle)
             if cycle >= max_cycles:
                 raise self._no_convergence(max_cycles)
         return cycle
@@ -166,6 +192,7 @@ class Engine:
         self, done: Callable[[], bool], max_cycles: int, tracer: Tracer
     ) -> int:
         """The reference loop with every tick classification recorded."""
+        telemetry = self._telemetry
         cycle = 0
         kernels = self.kernels
         on_tick = tracer.on_tick
@@ -173,6 +200,8 @@ class Engine:
             for kernel in kernels:
                 on_tick(kernel.name, cycle, kernel.tick(cycle))
             cycle += 1
+            if telemetry is not None and cycle >= telemetry.next_sample_at:
+                telemetry.sample(cycle)
             if cycle >= max_cycles:
                 raise self._no_convergence(max_cycles)
         return cycle
@@ -201,6 +230,7 @@ class Engine:
     def _run_fast(self, done: Callable[[], bool], max_cycles: int) -> int:
         kernels = self.kernels
         tracer = self._tracer
+        telemetry = self._telemetry
         for kernel in kernels:
             kernel._parked = False
             kernel._wake_at = WAKE_NEVER
@@ -262,6 +292,11 @@ class Engine:
                             kernel._wake_at = cycle + 1
                     # STALL_IDLE kernels never wake; settled at end of run.
             cycle += 1
+            if telemetry is not None and cycle >= telemetry.next_sample_at:
+                # Mid-run samples virtually account parked kernels' pending
+                # stall cycles (see Telemetry.sample), so sampled counters
+                # match the exhaustive loop's at this very cycle.
+                telemetry.sample(cycle)
             if cycle >= max_cycles:
                 self._settle(max_cycles)
         # The exhaustive loop ticked still-parked kernels through the final

@@ -16,6 +16,7 @@ report records the bandwidth each crossing requires.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -40,6 +41,9 @@ from .kernel import Kernel
 from .links import MAXRING, PCIE_GEN2_X8, LinkSpec, required_bandwidth_mbps
 from .stream import Stream
 from .trace import Tracer
+
+if TYPE_CHECKING:
+    from ..telemetry.collector import Telemetry
 
 __all__ = ["build_pipeline", "simulate", "StreamingRun", "LinkCrossing", "Pipeline"]
 
@@ -372,6 +376,7 @@ def simulate(
     max_cycles: int = 50_000_000,
     fast: bool = True,
     trace: Tracer | None = None,
+    telemetry: "Telemetry | None" = None,
     skip_sizing: str | dict[str, int] = "exact",
     sanitize: bool = True,
 ) -> StreamingRun:
@@ -385,7 +390,11 @@ def simulate(
     statistics (tested property).  Passing a fresh
     :class:`~repro.dataflow.trace.Tracer` as ``trace`` records the run's
     full cycle-exact event log (identical for both schedulers) for
-    Perfetto export and occupancy analysis.
+    Perfetto export and occupancy analysis.  Passing a fresh
+    :class:`~repro.telemetry.collector.Telemetry` as ``telemetry`` samples
+    live metrics (kernel utilization, FIFO occupancy, link bandwidth,
+    throughput) into its registry as the run progresses; the collector
+    adopts the pipeline's fabric clock and link crossings.
 
     ``sanitize=True`` (default) asserts every skip stream's measured
     high-water mark against the static §III-B5 prediction after the run
@@ -404,8 +413,10 @@ def simulate(
         fclk_mhz=fclk_mhz,
         skip_sizing=skip_sizing,
     )
+    if telemetry is not None:
+        telemetry.attach_pipeline(pipeline)
     cycles = pipeline.engine.run(
-        lambda: pipeline.sink.done, max_cycles=max_cycles, fast=fast, trace=trace
+        lambda: pipeline.sink.done, max_cycles=max_cycles, fast=fast, trace=trace, telemetry=telemetry
     )
     if sanitize and pipeline.skip_streams:
         from .verify import check_skip_high_water

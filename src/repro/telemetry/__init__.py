@@ -1,0 +1,58 @@
+"""Live telemetry for the streaming simulator.
+
+The observability layer the ROADMAP's serving-system north star needs:
+
+* :mod:`~repro.telemetry.registry` — typed Counter/Gauge/Histogram metric
+  families with Prometheus-compatible names and labels;
+* :mod:`~repro.telemetry.collector` — :class:`Telemetry`, the low-overhead
+  sampling hook ``Engine.run(telemetry=...)`` accepts (per-kernel
+  busy/starved/blocked counters, FIFO occupancy, link bandwidth vs the
+  §III-C budget, derived II/FPS/duty-cycle gauges);
+* :mod:`~repro.telemetry.exporters` — Prometheus text exposition and JSON
+  snapshots, periodic or at run end;
+* :mod:`~repro.telemetry.manifest` — host/run manifests (git describe,
+  python/numpy versions, topology) stamped onto every export;
+* :mod:`~repro.telemetry.dashboard` — the ``repro top`` live view;
+* :mod:`~repro.telemetry.attribution` — the ``repro stats`` bottleneck
+  report, naming the same edges ``repro check`` anchors its diagnostics to.
+
+Telemetry is strictly opt-in: with no collector attached the engine's hot
+loops stay hook-free (one ``is not None`` test per simulated cycle).
+"""
+
+from .attribution import AttributionReport, attribute_run, deadlock_root_edge, run_attributed
+from .collector import DEFAULT_SAMPLE_EVERY, OCCUPANCY_BUCKETS, Telemetry
+from .dashboard import Dashboard, render_frame
+from .exporters import (
+    PeriodicExporter,
+    render_prometheus,
+    snapshot_registry,
+    validate_exposition,
+    write_text_file,
+)
+from .manifest import host_manifest, run_manifest
+from .registry import Counter, Gauge, Histogram, MetricFamily, MetricsRegistry
+
+__all__ = [
+    "AttributionReport",
+    "Counter",
+    "Dashboard",
+    "DEFAULT_SAMPLE_EVERY",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "OCCUPANCY_BUCKETS",
+    "PeriodicExporter",
+    "Telemetry",
+    "attribute_run",
+    "deadlock_root_edge",
+    "host_manifest",
+    "render_frame",
+    "render_prometheus",
+    "run_attributed",
+    "run_manifest",
+    "snapshot_registry",
+    "validate_exposition",
+    "write_text_file",
+]

@@ -1,0 +1,347 @@
+"""Bottleneck attribution: who is stalling whom, and through which edge.
+
+``python -m repro stats`` runs a pipeline (or inspects one that just ran)
+and produces a ranked report: every kernel with its stall-adjusted
+utilization (``busy / (busy + starved + blocked)``), a verdict naming the
+dominant stall cause, and the specific edge responsible — the input FIFO
+that ran dry for a starved kernel, the output FIFO that filled for a
+blocked one.  Edge names are the engine's stream names, the same strings
+:mod:`repro.dataflow.verify` anchors its diagnostics to, so the report and
+``repro check`` point at the same place (tested property: on an
+undersized-skip topology the attribution's root edge equals V301's
+``where``).
+
+For a deadlocked run the root cause is found by walking the blame chain
+downstream: start from any kernel blocked on a full output and follow full
+streams reader-to-reader until the reader is no longer blocked — the last
+full stream is the root edge (for an undersized skip FIFO: the fork is
+blocked on the full skip arm while the adder starves on port 0, so the
+walk stops at the skip stream, exactly where V301 points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from ..dataflow.engine import Engine
+    from ..dataflow.manager import Pipeline
+    from ..nn.graph import LayerGraph
+    from .collector import Telemetry
+
+__all__ = [
+    "KernelAttribution",
+    "AttributionReport",
+    "deadlock_root_edge",
+    "attribute_run",
+    "run_attributed",
+]
+
+
+@dataclass(slots=True)
+class KernelAttribution:
+    """One kernel's stall accounting over a run."""
+
+    name: str
+    busy: int
+    starved: int
+    blocked: int
+    idle: int
+    utilization: float  # busy / (busy + starved + blocked)
+    verdict: str  # "busy" | "starved" | "blocked" | "idle"
+    edge: str | None  # the starving input / back-pressuring output stream
+    edge_role: str | None  # "starving" | "backpressure"
+
+
+@dataclass(slots=True)
+class AttributionReport:
+    """The full bottleneck report for one run."""
+
+    graph_name: str
+    cycles: int
+    aborted: bool
+    abort_message: str | None
+    fclk_mhz: float
+    images: int
+    latency_cycles: int | None
+    interval_cycles: float | None
+    fps: float | None
+    initiation_cycles: int | None
+    kernels: list[KernelAttribution] = field(default_factory=list)
+    root_edge: str | None = None
+    root_capacity: int | None = None
+    root_required: int | None = None
+    links: list[dict[str, Any]] = field(default_factory=list)
+    bram: list[dict[str, Any]] = field(default_factory=list)
+
+    def render(self) -> str:
+        status = "ABORTED (deadlock or budget)" if self.aborted else "ok"
+        lines = [
+            f"stats {self.graph_name}: {status} after {self.cycles:,} cycles, "
+            f"{self.images} image(s) completed"
+        ]
+        if self.root_edge is not None:
+            detail = ""
+            if self.root_required is not None and self.root_capacity is not None:
+                detail = (
+                    f" (capacity {self.root_capacity}, minimum safe capacity "
+                    f"{self.root_required} per the SIII-B5 solver)"
+                )
+            lines.append(f"  root bottleneck edge: {self.root_edge!r}{detail}")
+        lines.append("  kernels by stall-adjusted utilization (worst first):")
+        header = f"    {'kernel':<22} {'util':>6} {'busy':>10} {'starved':>10} {'blocked':>10} {'idle':>10}  cause"
+        lines.append(header)
+        for k in self.kernels:
+            cause = k.verdict
+            if k.edge is not None and k.edge_role is not None:
+                cause += f" ({k.edge_role} edge {k.edge!r})"
+            lines.append(
+                f"    {k.name:<22} {k.utilization:>6.1%} {k.busy:>10,} {k.starved:>10,} "
+                f"{k.blocked:>10,} {k.idle:>10,}  {cause}"
+            )
+        lines.append("  paper summary:")
+        if self.initiation_cycles is not None:
+            lines.append(f"    initiation interval: {self.initiation_cycles:,} cycles  [SIV-B4]")
+        if self.latency_cycles is not None:
+            lines.append(f"    first-image latency: {self.latency_cycles:,} cycles")
+        if self.interval_cycles is not None and self.fps is not None:
+            lines.append(
+                f"    steady-state interval: {self.interval_cycles:,.1f} cycles/image "
+                f"-> {self.fps:,.1f} FPS @ {self.fclk_mhz:g} MHz"
+            )
+        for link in self.links:
+            lines.append(
+                f"    link {link['edge']}: {link['required_mbps']:,.0f} Mbps required vs "
+                f"{link['capacity_mbps']:,.0f} Mbps capacity "
+                f"({link['utilization']:.1%} used)  [SIII-B6]"
+            )
+        for row in self.bram:
+            lines.append(
+                f"    BRAM {row['node']}: wastes {row['waste']:.0%} of {row['blocks']} "
+                f"M20K block(s)  [SIII-B1a]"
+            )
+        return "\n".join(lines)
+
+
+def deadlock_root_edge(engine: "Engine") -> str | None:
+    """Walk the blame chain to the full stream that originates the backpressure."""
+
+    def blocked_output(kernel: Any) -> Any:
+        for stream in kernel.outputs:
+            if len(stream._fifo) >= stream.capacity:
+                return stream
+        return None
+
+    start = None
+    for kernel in engine.kernels:
+        start = blocked_output(kernel)
+        if start is not None:
+            break
+    if start is None:
+        return None
+    visited = {id(start)}
+    current = start
+    while True:
+        reader = current.reader
+        if reader is None:
+            return current.name
+        downstream = blocked_output(reader)
+        if downstream is None or id(downstream) in visited:
+            return current.name
+        visited.add(id(downstream))
+        current = downstream
+
+
+def _starving_edge(kernel: Any) -> str | None:
+    """The input FIFO that chronically ran dry (lowest high-water mark)."""
+    if not kernel.inputs:
+        return None
+    return min(kernel.inputs, key=lambda s: (s.stats.max_occupancy, s.name)).name
+
+
+def _backpressure_edge(kernel: Any) -> str | None:
+    """The output FIFO that pushed back (most rejections, then fullest)."""
+    if not kernel.outputs:
+        return None
+    return max(
+        kernel.outputs,
+        key=lambda s: (s.stats.full_rejections, len(s._fifo) / s.capacity, s.name),
+    ).name
+
+
+def attribute_run(
+    pipeline: "Pipeline",
+    cycles: int,
+    aborted: bool = False,
+    abort_message: str | None = None,
+) -> AttributionReport:
+    """Build the attribution report from a pipeline's post-run engine state."""
+    from ..hardware.resources import weight_cache_blocks
+    from ..nn.graph import ConvNode
+
+    engine = pipeline.engine
+    kernels: list[KernelAttribution] = []
+    first_actives: list[int] = []
+    for kernel in engine.kernels:
+        stats = kernel.stats
+        busy = stats.active_cycles
+        starved = stats.input_starved_cycles
+        blocked = stats.output_blocked_cycles
+        idle = stats.idle_cycles
+        stalls = busy + starved + blocked
+        util = busy / stalls if stalls else 0.0
+        dominant = max(
+            (("busy", busy), ("starved", starved), ("blocked", blocked), ("idle", idle)),
+            key=lambda pair: pair[1],
+        )[0]
+        edge: str | None = None
+        role: str | None = None
+        if dominant == "starved":
+            edge, role = _starving_edge(kernel), "starving"
+        elif dominant == "blocked":
+            edge, role = _backpressure_edge(kernel), "backpressure"
+        kernels.append(
+            KernelAttribution(
+                name=kernel.name,
+                busy=busy,
+                starved=starved,
+                blocked=blocked,
+                idle=idle,
+                utilization=util,
+                verdict=dominant,
+                edge=edge,
+                edge_role=role,
+            )
+        )
+        if stats.first_active_cycle is not None:
+            first_actives.append(stats.first_active_cycle)
+    kernels.sort(key=lambda k: (k.utilization, k.name))
+
+    completions = sorted(pipeline.sink.completion_cycles)
+    latency = completions[0] if completions else None
+    interval: float | None = None
+    fps: float | None = None
+    if len(completions) >= 2:
+        interval = (completions[-1] - completions[0]) / (len(completions) - 1)
+        if interval > 0:
+            fps = pipeline.fclk_mhz * 1e6 / interval
+
+    root_edge: str | None = None
+    root_capacity: int | None = None
+    root_required: int | None = None
+    if aborted:
+        root_edge = deadlock_root_edge(engine)
+        if root_edge is not None:
+            stream = next((s for s in engine.streams if s.name == root_edge), None)
+            if stream is not None:
+                root_capacity = stream.capacity
+            # If the root is a skip FIFO, the SIII-B5 solver names the
+            # minimum safe capacity — the same number V301 reports.
+            for add_name, skip in pipeline.skip_streams.items():
+                if skip.name == root_edge:
+                    from ..dataflow.verify import solve_skip_capacities
+
+                    root_required = solve_skip_capacities(
+                        pipeline.graph,
+                        partition=pipeline.partition,
+                        link=pipeline.link,
+                        fclk_mhz=pipeline.fclk_mhz,
+                    )[add_name]
+                    break
+
+    links: list[dict[str, Any]] = []
+    for crossing in pipeline.crossings:
+        capacity_mbps = crossing.link.bandwidth_gbps * 1000.0
+        links.append(
+            {
+                "edge": f"{crossing.edge[0]}->{crossing.edge[1]}",
+                "required_mbps": crossing.required_mbps,
+                "capacity_mbps": capacity_mbps,
+                "utilization": crossing.required_mbps / capacity_mbps if capacity_mbps else 0.0,
+                "link": crossing.link.name,
+            }
+        )
+
+    bram: list[dict[str, Any]] = []
+    for name, node in pipeline.graph.nodes.items():
+        if not isinstance(node, ConvNode):
+            continue
+        blocks, waste = weight_cache_blocks(node)
+        if blocks and waste >= 0.25:
+            bram.append({"node": name, "blocks": blocks, "waste": waste})
+
+    return AttributionReport(
+        graph_name=pipeline.graph.name,
+        cycles=cycles,
+        aborted=aborted,
+        abort_message=abort_message,
+        fclk_mhz=pipeline.fclk_mhz,
+        images=len(completions),
+        latency_cycles=latency,
+        interval_cycles=interval,
+        fps=fps,
+        initiation_cycles=max(first_actives) if first_actives else None,
+        kernels=kernels,
+        root_edge=root_edge,
+        root_capacity=root_capacity,
+        root_required=root_required,
+        links=links,
+        bram=bram,
+    )
+
+
+def run_attributed(
+    graph: "LayerGraph",
+    images: np.ndarray,
+    *,
+    partition: list[list[str]] | None = None,
+    fclk_mhz: float = 105.0,
+    max_cycles: int = 50_000_000,
+    fast: bool = True,
+    use_bitops: bool = False,
+    skip_sizing: "str | dict[str, int]" = "exact",
+    telemetry: "Telemetry | None" = None,
+) -> AttributionReport:
+    """Run ``images`` through ``graph`` and attribute the result.
+
+    Unlike :func:`repro.dataflow.manager.simulate`, a non-converging run
+    (deadlock / exhausted cycle budget) does not propagate: the engine's
+    settled stall counters at the abort point are exactly what the
+    attribution needs, so the report is built either way and carries the
+    abort message.
+    """
+    from ..dataflow.manager import build_pipeline
+
+    images = np.asarray(images)
+    if images.ndim == 3:
+        images = images[None]
+    pipeline = build_pipeline(
+        graph,
+        images,
+        use_bitops=use_bitops,
+        partition=partition,
+        fclk_mhz=fclk_mhz,
+        skip_sizing=skip_sizing,
+    )
+    if telemetry is not None:
+        telemetry.attach_pipeline(pipeline)
+    aborted = False
+    abort_message: str | None = None
+    cycles = 0
+    try:
+        cycles = pipeline.engine.run(
+            lambda: pipeline.sink.done,
+            max_cycles=max_cycles,
+            fast=fast,
+            telemetry=telemetry,
+        )
+    except RuntimeError as err:
+        aborted = True
+        abort_message = str(err)
+        cycles = max_cycles
+        if telemetry is not None and not telemetry.finished:
+            telemetry.finish(cycles)
+    return attribute_run(pipeline, cycles, aborted=aborted, abort_message=abort_message)

@@ -1,0 +1,264 @@
+"""Typed metrics registry: Counter / Gauge / Histogram families with labels.
+
+The registry is the substrate of the live telemetry layer: every quantity
+the simulator exposes — per-kernel busy/starved/blocked cycles, FIFO
+occupancy, link bandwidth, derived throughput — is one metric family with
+Prometheus-compatible naming (``[a-zA-Z_:][a-zA-Z0-9_:]*``) and label
+semantics.  Families are created once (idempotently) on a
+:class:`MetricsRegistry` and children materialise lazily per label-value
+tuple, so the set of kernels/streams never has to be declared up front.
+
+Three metric types, matching the Prometheus data model:
+
+* :class:`Counter` — monotonically non-decreasing.  Besides ``inc``, a
+  counter supports ``set_total`` so the collector can mirror the engine's
+  own aggregate counters (``KernelStats`` / ``StreamStats``) exactly
+  instead of double-counting events; monotonicity is still enforced.
+* :class:`Gauge` — a value that can go anywhere (occupancy, utilization,
+  derived rates).
+* :class:`Histogram` — fixed upper-bound buckets plus sum/count; rendered
+  cumulatively (``le``-style) by the Prometheus exporter.
+
+The registry itself knows nothing about the simulator; the wiring lives in
+:mod:`repro.telemetry.collector`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+]
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+METRIC_TYPES = ("counter", "gauge", "histogram")
+
+
+class Counter:
+    """A monotonically non-decreasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount!r}")
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        """Set the absolute total (mirroring an external monotone counter)."""
+        if value < self.value:
+            raise ValueError(
+                f"counter would decrease: {self.value!r} -> {value!r} (counters are monotone)"
+            )
+        self.value = value
+
+
+class Gauge:
+    """An instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket distribution with sum and count.
+
+    ``bucket_counts[i]`` counts observations ``<= uppers[i]`` exclusively of
+    earlier buckets (per-bucket, not cumulative — the exporter accumulates);
+    the implicit final ``+Inf`` bucket is ``bucket_counts[-1]``.
+    """
+
+    __slots__ = ("uppers", "bucket_counts", "sum", "count")
+
+    def __init__(self, uppers: Sequence[float]) -> None:
+        cleaned = sorted({float(u) for u in uppers})
+        if not cleaned:
+            raise ValueError("histogram needs at least one finite bucket bound")
+        if any(math.isinf(u) or math.isnan(u) for u in cleaned):
+            raise ValueError("histogram bucket bounds must be finite (+Inf is implicit)")
+        self.uppers: tuple[float, ...] = tuple(cleaned)
+        self.bucket_counts: list[int] = [0] * (len(cleaned) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.uppers, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs ending with ``(+Inf, count)``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for upper, n in zip(self.uppers, self.bucket_counts):
+            running += n
+            out.append((upper, running))
+        out.append((math.inf, self.count))
+        return out
+
+
+Child = Union[Counter, Gauge, Histogram]
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and lazy children."""
+
+    __slots__ = ("name", "help", "type", "labelnames", "buckets", "_children")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        type: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        if not _METRIC_NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        if type not in METRIC_TYPES:
+            raise ValueError(f"metric type must be one of {METRIC_TYPES}, got {type!r}")
+        if not help:
+            raise ValueError(f"metric {name!r} needs a help string")
+        for label in labelnames:
+            if not _LABEL_NAME_RE.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name {label!r} on metric {name!r}")
+        if type == "histogram" and not buckets:
+            raise ValueError(f"histogram {name!r} needs bucket bounds")
+        self.name = name
+        self.help = help
+        self.type = type
+        self.labelnames: tuple[str, ...] = tuple(labelnames)
+        self.buckets: tuple[float, ...] | None = tuple(buckets) if buckets else None
+        self._children: dict[tuple[str, ...], Child] = {}
+
+    def _make_child(self) -> Child:
+        if self.type == "counter":
+            return Counter()
+        if self.type == "gauge":
+            return Gauge()
+        assert self.buckets is not None
+        return Histogram(self.buckets)
+
+    def labels(self, **labels: str) -> Child:
+        """The child for one label-value assignment (created on first use)."""
+        if tuple(sorted(labels)) != tuple(sorted(self.labelnames)):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    # Convenience for label-less families: act like the single child.
+    def _default(self) -> Child:
+        if self.labelnames:
+            raise ValueError(f"metric {self.name!r} has labels {list(self.labelnames)}; use .labels()")
+        return self.labels()
+
+    def inc(self, amount: float = 1) -> None:
+        child = self._default()
+        if isinstance(child, Histogram):
+            raise TypeError(f"{self.name!r} is a histogram; use observe()")
+        child.inc(amount)
+
+    def set(self, value: float) -> None:
+        child = self._default()
+        if not isinstance(child, Gauge):
+            raise TypeError(f"{self.name!r} is not a gauge")
+        child.set(value)
+
+    def set_total(self, value: float) -> None:
+        child = self._default()
+        if not isinstance(child, Counter):
+            raise TypeError(f"{self.name!r} is not a counter")
+        child.set_total(value)
+
+    def observe(self, value: float) -> None:
+        child = self._default()
+        if not isinstance(child, Histogram):
+            raise TypeError(f"{self.name!r} is not a histogram")
+        child.observe(value)
+
+    def samples(self) -> Iterator[tuple[dict[str, str], Child]]:
+        """``(labels, child)`` pairs in sorted label order."""
+        for key in sorted(self._children):
+            yield dict(zip(self.labelnames, key)), self._children[key]
+
+
+class MetricsRegistry:
+    """An ordered collection of metric families."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def _register(
+        self,
+        name: str,
+        help: str,
+        type: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if (
+                existing.type != type
+                or existing.labelnames != tuple(labelnames)
+                or existing.help != help
+            ):
+                raise ValueError(f"metric {name!r} already registered with a different schema")
+            return existing
+        family = MetricFamily(name, help, type, labelnames, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str, labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, help, "counter", labelnames)
+
+    def gauge(self, name: str, help: str, labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, help, "gauge", labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        buckets: Sequence[float],
+        labelnames: Sequence[str] = (),
+    ) -> MetricFamily:
+        return self._register(name, help, "histogram", labelnames, buckets)
+
+    def collect(self) -> Iterable[MetricFamily]:
+        """Families in registration order."""
+        return self._families.values()
+
+    def get(self, name: str) -> MetricFamily:
+        return self._families[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families

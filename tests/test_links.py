@@ -1,0 +1,58 @@
+"""Direct tests for the inter-chip link models (dataflow/links.py)."""
+
+import pytest
+
+from repro.dataflow.links import MAXRING, PCIE_GEN2_X8, LinkSpec, required_bandwidth_mbps
+
+
+class TestRequiredBandwidth:
+    def test_paper_case_2bit_at_105mhz_is_210_mbps(self):
+        """§III-B6: a 2-bit stream at 105 MHz needs exactly 210 Mbps."""
+        assert required_bandwidth_mbps(2, 105.0) == pytest.approx(210.0)
+
+    def test_zero_width_stream_needs_no_bandwidth(self):
+        assert required_bandwidth_mbps(0, 105.0) == 0.0
+
+    def test_scales_linearly_in_bits_and_clock(self):
+        base = required_bandwidth_mbps(2, 105.0)
+        assert required_bandwidth_mbps(4, 105.0) == pytest.approx(2 * base)
+        assert required_bandwidth_mbps(2, 210.0) == pytest.approx(2 * base)
+
+
+class TestLinkSpecSupports:
+    def test_maxring_supports_the_paper_stream(self):
+        assert MAXRING.supports(2, 105.0)
+
+    def test_exact_capacity_boundary_is_supported(self):
+        """`supports` is inclusive: demand == capacity still fits."""
+        link = LinkSpec(name="test", bandwidth_gbps=0.210, latency_cycles=1)
+        assert link.supports(2, 105.0)
+        assert not link.supports(2, 105.0 + 1e-6)
+
+    def test_fclk_boundary_just_over_capacity_fails(self):
+        link = LinkSpec(name="test", bandwidth_gbps=1.0, latency_cycles=1)
+        # 16 bits * 62.5 MHz = 1000 Mbps = exactly 1 Gbps.
+        assert link.supports(16, 62.5)
+        assert not link.supports(16, 62.6)
+
+    def test_zero_width_stream_supported_by_any_link(self):
+        tiny = LinkSpec(name="tiny", bandwidth_gbps=0.001, latency_cycles=1)
+        assert tiny.supports(0, 105.0)
+
+
+class TestLinkSpecUtilization:
+    def test_paper_utilization_is_about_five_percent(self):
+        """210 Mbps over a 4 Gbps MaxRing: ~5% used, ~19x headroom."""
+        util = MAXRING.utilization(2, 105.0)
+        assert util == pytest.approx(210.0 / 4000.0)
+        assert util < 0.06
+
+    def test_utilization_one_at_exact_capacity(self):
+        link = LinkSpec(name="test", bandwidth_gbps=0.210, latency_cycles=1)
+        assert link.utilization(2, 105.0) == pytest.approx(1.0)
+
+    def test_zero_width_stream_has_zero_utilization(self):
+        assert MAXRING.utilization(0, 105.0) == 0.0
+
+    def test_pcie_has_more_headroom_than_maxring(self):
+        assert PCIE_GEN2_X8.utilization(2, 105.0) < MAXRING.utilization(2, 105.0)

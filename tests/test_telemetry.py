@@ -1,0 +1,358 @@
+"""Tests for the live telemetry subsystem (src/repro/telemetry/)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dataflow import Tracer, simulate
+from repro.dataflow.manager import build_pipeline
+from repro.dataflow.tracing import analyze_trace
+from repro.dataflow.verify import solve_skip_capacities, verify_pipeline
+from repro.models import direct_resnet18_graph
+from repro.nn import input_to_levels
+from repro.nn.export import export_model
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PeriodicExporter,
+    Telemetry,
+    deadlock_root_edge,
+    host_manifest,
+    render_frame,
+    render_prometheus,
+    run_attributed,
+    run_manifest,
+    snapshot_registry,
+    validate_exposition,
+    write_text_file,
+)
+from tests.conftest import make_tiny_chain_model
+
+
+# -- registry primitives ---------------------------------------------------
+
+
+class TestRegistry:
+    def test_counter_is_monotone(self):
+        c = Counter()
+        c.inc(3)
+        c.set_total(10)
+        assert c.value == 10
+        with pytest.raises(ValueError):
+            c.set_total(9)
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_freely(self):
+        g = Gauge()
+        g.set(5)
+        g.inc(-2)
+        assert g.value == 3
+
+    def test_histogram_buckets_and_cumulative(self):
+        h = Histogram([1, 4, 16])
+        for v in (0, 1, 2, 5, 100):
+            h.observe(v)
+        assert h.count == 5
+        assert h.sum == 108
+        cum = h.cumulative()
+        assert [c for _, c in cum] == [2, 3, 4, 5]
+        assert cum[-1][0] == float("inf")
+
+    def test_family_label_schema_enforced(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("repro_test_total", "help.", ("kernel",))
+        fam.labels(kernel="a").inc()
+        with pytest.raises(ValueError):
+            fam.labels(stream="a")
+        with pytest.raises(ValueError):
+            fam.inc()  # labelled family has no default child
+
+    def test_registration_idempotent_but_schema_checked(self):
+        reg = MetricsRegistry()
+        a = reg.gauge("repro_g", "help.")
+        assert reg.gauge("repro_g", "help.") is a
+        with pytest.raises(ValueError):
+            reg.counter("repro_g", "help.")
+
+    def test_invalid_metric_and_label_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.gauge("0bad", "help.")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_ok", "help.", ("bad-label",))
+        with pytest.raises(ValueError):
+            reg.gauge("repro_ok", "help.", ("__reserved",))
+
+
+# -- collector reconciliation ---------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def chain_case():
+    model = make_tiny_chain_model()
+    graph = export_model(model, (16, 16, 3), name="tiny-chain")
+    rng = np.random.default_rng(0)
+    levels = input_to_levels(rng.uniform(0, 1, (2, 16, 16, 3)), model.layers[0].quantizer)
+    return graph, levels
+
+
+def _assert_reconciles(telemetry, run):
+    """Sealed telemetry counters must equal collect_stats bit for bit."""
+    kstats, sstats = run.pipeline.engine.collect_stats()
+    kc = telemetry.registry.get("repro_kernel_cycles_total")
+    ke = telemetry.registry.get("repro_kernel_elements_total")
+    for name, st in kstats.items():
+        assert kc.labels(kernel=name, state="busy").value == st.active_cycles
+        assert kc.labels(kernel=name, state="starved").value == st.input_starved_cycles
+        assert kc.labels(kernel=name, state="blocked").value == st.output_blocked_cycles
+        assert kc.labels(kernel=name, state="idle").value == st.idle_cycles
+        assert ke.labels(kernel=name, direction="in").value == st.elements_in
+        assert ke.labels(kernel=name, direction="out").value == st.elements_out
+    se = telemetry.registry.get("repro_stream_events_total")
+    peak = telemetry.registry.get("repro_stream_occupancy_peak")
+    for name, st in sstats.items():
+        assert se.labels(stream=name, event="push").value == st.pushes
+        assert se.labels(stream=name, event="pop").value == st.pops
+        assert se.labels(stream=name, event="reject").value == st.full_rejections
+        assert peak.labels(stream=name).value == st.max_occupancy
+    images = telemetry.registry.get("repro_images_completed_total")._default().value
+    assert images == len(run.pipeline.sink.completion_cycles)
+    assert telemetry.registry.get("repro_cycles")._default().value == run.cycles
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "exhaustive"])
+def test_telemetry_reconciles_with_collect_stats(chain_case, fast):
+    graph, levels = chain_case
+    telemetry = Telemetry(sample_every=100)
+    run = simulate(graph, levels, fast=fast, telemetry=telemetry)
+    assert telemetry.finished and telemetry.total_cycles == run.cycles
+    _assert_reconciles(telemetry, run)
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "exhaustive"])
+def test_telemetry_reconciles_with_pipeline_trace(chain_case, fast):
+    """The sealed counters equal the Tracer-derived PipelineTrace's."""
+    graph, levels = chain_case
+    telemetry = Telemetry(sample_every=100)
+    tracer = Tracer()
+    run = simulate(graph, levels, fast=fast, trace=tracer, telemetry=telemetry)
+    trace = analyze_trace(tracer, skip_idle=False)
+    kc = telemetry.registry.get("repro_kernel_cycles_total")
+    for window in trace.windows:
+        assert kc.labels(kernel=window.name, state="busy").value == window.active_cycles
+        assert kc.labels(kernel=window.name, state="starved").value == window.input_starved
+        assert kc.labels(kernel=window.name, state="blocked").value == window.output_blocked
+    images = telemetry.registry.get("repro_images_completed_total")._default().value
+    assert images == len(run.pipeline.sink.completion_cycles)
+
+
+def test_fast_midrun_samples_match_exhaustive(chain_case):
+    """Virtual park accounting: a fast-path sample equals the exhaustive
+    loop's counters at the very same cycle, not just at the end."""
+    graph, levels = chain_case
+
+    def capture(store):
+        def listener(tel, cycle):
+            store[cycle] = {
+                row["name"]: (row["busy"], row["starved"], row["blocked"], row["idle"])
+                for row in tel.kernel_rows()
+            }
+
+        return listener
+
+    exhaustive: dict = {}
+    simulate(
+        graph, levels, fast=False, telemetry=Telemetry(sample_every=1, on_sample=capture(exhaustive))
+    )
+    fast: dict = {}
+    simulate(
+        graph, levels, fast=True, telemetry=Telemetry(sample_every=97, on_sample=capture(fast))
+    )
+    assert len(fast) > 5
+    for cycle, rows in fast.items():
+        assert rows == exhaustive[cycle], f"divergence at cycle {cycle}"
+
+
+def test_telemetry_is_single_use(chain_case):
+    graph, levels = chain_case
+    telemetry = Telemetry()
+    simulate(graph, levels, telemetry=telemetry)
+    with pytest.raises(ValueError):
+        simulate(graph, levels, telemetry=telemetry)
+
+
+def test_derived_gauges(chain_case):
+    graph, levels = chain_case
+    telemetry = Telemetry()
+    run = simulate(graph, levels, telemetry=telemetry)
+    reg = telemetry.registry
+    latency = reg.get("repro_image_latency_cycles")._default().value
+    assert latency == run.latency_cycles
+    interval = reg.get("repro_steady_state_interval_cycles")._default().value
+    assert interval == pytest.approx(run.run.steady_state_interval)
+    fps = reg.get("repro_throughput_fps")._default().value
+    assert fps == pytest.approx(run.pipeline.fclk_mhz * 1e6 / interval)
+    ii = reg.get("repro_initiation_interval_cycles")._default().value
+    assert 0 < ii < run.cycles
+    duty = reg.get("repro_kernel_duty_cycle")
+    for _, child in duty.samples():
+        assert 0.0 <= child.value <= 1.0
+
+
+# -- exporters -------------------------------------------------------------
+
+
+class TestExporters:
+    def test_prometheus_exposition_validates(self, chain_case):
+        graph, levels = chain_case
+        telemetry = Telemetry()
+        telemetry.manifest = run_manifest(graph, seed=0, images=2)
+        simulate(graph, levels, telemetry=telemetry)
+        text = telemetry.export_prometheus()
+        assert validate_exposition(text) == []
+        assert "repro_build_info{" in text
+        assert "# TYPE repro_kernel_cycles_total counter" in text
+        assert "repro_stream_occupancy_sampled_bucket" in text
+        assert 'le="+Inf"' in text
+
+    def test_validator_catches_corruption(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_x", "help.").set(1)
+        good = render_prometheus(reg)
+        assert validate_exposition(good) == []
+        assert validate_exposition("repro_orphan 1\n")  # no TYPE header
+        assert validate_exposition("# TYPE repro_x gauge\nrepro_x{ 1\n")
+        assert validate_exposition("# TYPE repro_x gauge\nrepro_x not_a_number\n")
+
+    def test_json_snapshot_round_trips(self, chain_case):
+        graph, levels = chain_case
+        telemetry = Telemetry()
+        simulate(graph, levels, telemetry=telemetry)
+        payload = telemetry.export_json()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["schema"] == "repro-telemetry/1"
+        assert decoded["finished"] is True
+        names = {f["name"] for f in decoded["metrics"]}
+        assert "repro_kernel_cycles_total" in names
+        assert "repro_throughput_fps" in names
+
+    def test_snapshot_registry_histograms_have_inf_bucket(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro_h", "help.", [1, 2]).observe(1.5)
+        fam = snapshot_registry(reg)[0]
+        assert fam["samples"][0]["buckets"][-1][0] == "+Inf"
+
+    def test_write_text_file_refuses_overwrite(self, tmp_path):
+        target = tmp_path / "out.prom"
+        write_text_file(target, "a\n")
+        with pytest.raises(FileExistsError):
+            write_text_file(target, "b\n")
+        write_text_file(target, "b\n", force=True)
+        assert target.read_text() == "b\n"
+
+    def test_periodic_exporter_guards_and_writes(self, chain_case, tmp_path):
+        graph, levels = chain_case
+        prom = tmp_path / "metrics.prom"
+        snap = tmp_path / "metrics.json"
+        telemetry = Telemetry(sample_every=200)
+        telemetry.add_listener(PeriodicExporter(prom_path=prom, json_path=snap))
+        simulate(graph, levels, telemetry=telemetry)
+        assert validate_exposition(prom.read_text()) == []
+        assert json.loads(snap.read_text())["finished"] is True
+        # Existing outputs require force.
+        with pytest.raises(FileExistsError):
+            PeriodicExporter(prom_path=prom)
+        PeriodicExporter(prom_path=prom, force=True)
+
+
+# -- manifests -------------------------------------------------------------
+
+
+class TestManifest:
+    def test_host_manifest_keys(self):
+        mf = host_manifest()
+        for key in ("revision", "git_describe", "python", "numpy", "cpu_count"):
+            assert key in mf
+        assert mf["cpu_count"] >= 1
+
+    def test_run_manifest_topology(self, chain_case):
+        graph, _ = chain_case
+        mf = run_manifest(graph, seed=7, images=2, fclk_mhz=105.0)
+        assert mf["schema"] == "repro-run-manifest/1"
+        assert mf["topology"]["name"] == graph.name
+        assert mf["topology"]["input"] == [16, 16, 3]
+        assert mf["seed"] == 7 and mf["images"] == 2
+
+
+# -- dashboard -------------------------------------------------------------
+
+
+def test_dashboard_frame_renders(chain_case):
+    graph, levels = chain_case
+    telemetry = Telemetry()
+    simulate(graph, levels, telemetry=telemetry)
+    frame = render_frame(telemetry)
+    assert "run complete" in frame
+    assert "host_sink" in frame
+    assert "FPS" in frame
+
+
+# -- bottleneck attribution ------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tiny_residual():
+    graph = direct_resnet18_graph(16, width=0.0625, classes=4, stages=[(64, 1, 1)])
+    rng = np.random.default_rng(0)
+    images = rng.integers(0, 4, size=(2, 16, 16, 3))
+    return graph, images
+
+
+def test_attribution_on_healthy_run(tiny_residual):
+    graph, images = tiny_residual
+    report = run_attributed(graph, images)
+    assert not report.aborted
+    assert report.root_edge is None
+    assert report.images == 2
+    assert report.fps and report.fps > 0
+    names = [k.name for k in report.kernels]
+    assert "host_sink" in names
+    utils = [k.utilization for k in report.kernels]
+    assert utils == sorted(utils)
+    assert "stall-adjusted utilization" in report.render()
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fast", "exhaustive"])
+def test_attribution_names_v301_edge_on_undersized_skip(tiny_residual, fast):
+    """Fault injection: `repro stats` and `repro check` must point at the
+    same edge when a skip FIFO is deliberately undersized (V301)."""
+    graph, images = tiny_residual
+    exact = solve_skip_capacities(graph)
+    victim = sorted(exact)[0]
+    injected = dict(exact)
+    injected[victim] = exact[victim] - 1
+
+    pipeline = build_pipeline(graph, images, skip_sizing=injected)
+    check = verify_pipeline(pipeline, exact_skip=exact)
+    v301 = [d for d in check.diagnostics if d.code == "V301"]
+    assert len(v301) == 1 and v301[0].severity == "error"
+
+    report = run_attributed(
+        graph, images, skip_sizing=injected, max_cycles=100_000, fast=fast
+    )
+    assert report.aborted
+    assert report.root_edge == v301[0].where
+    assert report.root_required == exact[victim]
+    assert report.root_capacity == exact[victim] - 1
+    assert f"minimum safe capacity {exact[victim]}" in report.render()
+
+
+def test_deadlock_root_edge_none_on_healthy_engine(tiny_residual):
+    graph, images = tiny_residual
+    pipeline = build_pipeline(graph, images)
+    pipeline.engine.run(lambda: pipeline.sink.done)
+    assert deadlock_root_edge(pipeline.engine) is None
