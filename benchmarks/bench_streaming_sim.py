@@ -119,6 +119,39 @@ def test_streaming_chain_simulation_telemetry(benchmark):
         )
 
 
+def test_streaming_chain_loadgen(benchmark):
+    """Open-loop load generation: the lifecycle instrumentation's cost.
+
+    Admission stamping, image-boundary stream marks, and the source's
+    arrival check ride the hot path of every run; this case bounds their
+    cost against the closed-loop rate measured this session (same floors
+    as the telemetry guard: 5% strict, 40% on shared runners).  The
+    offered rate is far above capacity so the source never long-idles —
+    the run exercises the instrumentation, not the scheduler's skip.
+    """
+    from repro.telemetry.loadgen import run_load
+
+    graph, levels = _tiny_chain_case()
+
+    result = benchmark(lambda: run_load(graph, levels, rate_fps=1e7))
+    seconds = benchmark.stats.stats.min
+    assert not result.aborted and result.report.n_images == 2
+    p99 = result.report.service.p99
+    benchmark.extra_info["p99_service_cycles"] = p99
+    benchmark.extra_info["simulated_cycles"] = result.cycles
+    rate = result.cycles / seconds
+    benchmark.extra_info["simulated_cycles_per_second"] = round(rate, 1)
+    record("tiny_chain_loadgen", result.cycles, seconds, p99_service_cycles=p99)
+    baseline = _session_rates.get("tiny_chain")
+    if baseline:
+        floor = 0.95 if os.environ.get("REPRO_BENCH_STRICT") else 0.60
+        assert rate >= baseline * floor, (
+            f"loadgen overhead too high: {rate:,.0f} vs {baseline:,.0f} "
+            f"closed-loop simulated cycles/s (floor {floor:.0%})"
+        )
+    _guard_regression("tiny_chain_loadgen", rate)
+
+
 def test_streaming_chain_simulation_traced(benchmark):
     """Full event tracing on: bounds the cost of recording every event."""
     graph, levels = _tiny_chain_case()

@@ -18,6 +18,12 @@ Commands
 ``top [--size N] [--images M] [--every N]``
     Live dashboard: kernel utilization bars, FIFO occupancy and
     throughput, re-rendered while the simulation runs in-process.
+``load [--rate FPS] [--process fixed|poisson] [--sweep R ...] [--json]``
+    Open-loop load generation: stream images at a target offered rate
+    (deterministic seeded arrivals), report offered vs achieved FPS and
+    exact p50/p95/p99/max latency, optionally gate on a p99 SLO
+    (``--slo-p99-cycles``, exits non-zero on violation) or sweep a rate
+    ladder into a FINN-style latency-throughput JSON curve.
 ``stats [--network vgg|resnet18] [--skip-capacity N]``
     Bottleneck attribution: kernels ranked by stall-adjusted utilization,
     the starving/back-pressuring edge for each, and the paper summary
@@ -207,6 +213,73 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .telemetry.loadgen import run_load, sweep
+
+    try:
+        graph, images = _tiny_vgg(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.out and Path(args.out).exists() and not args.force:
+        print(f"{args.out} exists; pass --force to overwrite", file=sys.stderr)
+        return 2
+
+    if args.sweep:
+        payload = sweep(
+            graph,
+            images,
+            args.sweep,
+            process=args.process,
+            seed=args.seed,
+            fast=not args.exhaustive,
+            max_cycles=args.max_cycles,
+        )
+        text = json.dumps(payload, indent=2)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            print(f"wrote {len(payload['points'])}-point latency-throughput sweep to {args.out}")
+        else:
+            print(text)
+        return 0
+
+    if args.rate is None:
+        print("repro load needs --rate FPS (or --sweep R1 R2 ...)", file=sys.stderr)
+        return 2
+    result = run_load(
+        graph,
+        images,
+        rate_fps=args.rate,
+        process=args.process,
+        seed=args.seed,
+        fast=not args.exhaustive,
+        max_cycles=args.max_cycles,
+    )
+    if args.json:
+        text = json.dumps(result.as_dict(), indent=2)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            print(f"wrote load result to {args.out}")
+        else:
+            print(text)
+    else:
+        print(result.render())
+    if args.slo_p99_cycles is not None and result.slo_violated(args.slo_p99_cycles):
+        p99 = result.report.sojourn.p99
+        shown = f"{p99:,}" if p99 is not None else "n/a"
+        print(
+            f"SLO VIOLATION: p99 sojourn latency {shown} cycles "
+            f"exceeds --slo-p99-cycles {args.slo_p99_cycles:,}"
+            + (" (run aborted)" if result.aborted else ""),
+            file=sys.stderr,
+        )
+        return 1
+    return 1 if result.aborted else 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .models import direct_resnet18_graph, direct_vgg_graph
     from .nn.graph import AddNode
@@ -374,6 +447,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="append plain-text frames instead of redrawing in place",
     )
     p_top.set_defaults(func=_cmd_top)
+
+    p_load = sub.add_parser(
+        "load", help="open-loop load generation: offered rate, latency percentiles, SLO gate"
+    )
+    p_load.add_argument("--size", type=int, default=16)
+    p_load.add_argument("--images", type=int, default=8)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--rate", type=float, default=None, help="offered arrival rate in frames per second"
+    )
+    p_load.add_argument(
+        "--process",
+        choices=["fixed", "poisson"],
+        default="fixed",
+        help="arrival process (poisson draws seeded exponential gaps)",
+    )
+    p_load.add_argument(
+        "--sweep",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="FPS",
+        help="sweep these offered rates and emit the latency-throughput curve as JSON",
+    )
+    p_load.add_argument(
+        "--json", action="store_true", help="print the machine-readable result instead of text"
+    )
+    p_load.add_argument("--out", default=None, help="write the JSON payload to this file")
+    p_load.add_argument(
+        "--force", action="store_true", help="overwrite an existing --out file"
+    )
+    p_load.add_argument(
+        "--slo-p99-cycles",
+        type=int,
+        default=None,
+        help="exit non-zero unless p99 service latency is within this many cycles",
+    )
+    p_load.add_argument(
+        "--max-cycles", type=int, default=50_000_000, help="abort budget in cycles"
+    )
+    p_load.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="use the exhaustive reference scheduler instead of the fast path",
+    )
+    p_load.set_defaults(func=_cmd_load)
 
     p_stats = sub.add_parser(
         "stats", help="bottleneck attribution report for a simulated run"

@@ -290,7 +290,12 @@ class Engine:
                         # next cycle if space already exists.
                         if all(s.can_push() for s in kernel.outputs):
                             kernel._wake_at = cycle + 1
-                    # STALL_IDLE kernels never wake; settled at end of run.
+                    elif kernel._wake_hint > cycle:
+                        # An idle park with a self-scheduled wake-up: the
+                        # open-loop host source knows the exact cycle its
+                        # next image arrives.  Other STALL_IDLE kernels never
+                        # wake and are settled at end of run.
+                        kernel._wake_at = kernel._wake_hint
             cycle += 1
             if telemetry is not None and cycle >= telemetry.next_sample_at:
                 # Mid-run samples virtually account parked kernels' pending

@@ -81,6 +81,14 @@ class Kernel:
         self._park_cycle = 0
         self._park_kind = 0
         self._wake_at = WAKE_NEVER
+        # Self-scheduled wake-up for an idle park: a tick that returns
+        # STALL_IDLE may first set ``_wake_hint`` to a future cycle at which
+        # its state will change without any stream event (the open-loop host
+        # source waiting for the next image arrival).  The fast scheduler
+        # honours the hint instead of parking the kernel forever; the
+        # exhaustive loop ignores it (it ticks every cycle anyway), so the
+        # idle-cycle accounting stays bit-identical on both paths.
+        self._wake_hint = 0
         # Event tracer installed by Engine.run(trace=...) for the duration
         # of a traced run.  The engine records tick classifications itself;
         # this handle is for kernel-level events the engine cannot see,
@@ -104,6 +112,7 @@ class Kernel:
         self._park_cycle = 0
         self._park_kind = 0
         self._wake_at = WAKE_NEVER
+        self._wake_hint = 0
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

@@ -177,6 +177,7 @@ def build_pipeline(
     host_link: LinkSpec = PCIE_GEN2_X8,
     fclk_mhz: float = 105.0,
     skip_sizing: str | dict[str, int] = "exact",
+    arrival_cycles: list[int] | None = None,
 ) -> Pipeline:
     """Instantiate kernels and streams for ``graph``.
 
@@ -192,6 +193,11 @@ def build_pipeline(
         Optional list of node-name groups, one per DFE, covering all
         compute nodes contiguously in topological order.  ``None`` puts
         everything on one DFE.
+    arrival_cycles:
+        Optional open-loop arrival schedule, one non-decreasing cycle per
+        image: the host source withholds image *i* until its arrival cycle
+        (see :class:`~repro.kernels.io.HostSource`).  ``None`` streams
+        back-to-back (closed loop).
     skip_sizing:
         How skip delay FIFOs are sized: ``"exact"`` (default) asks the
         static verifier's §III-B5 solver for the sharp per-adder minimum,
@@ -227,7 +233,7 @@ def build_pipeline(
     dfe_of_node["host_sink"] = dfe_of_node.get(graph.output_name, 0)
 
     engine = Engine(graph.name)
-    source = HostSource("host_source", images, graph.input_spec)
+    source = HostSource("host_source", images, graph.input_spec, arrival_cycles=arrival_cycles)
     sink = HostSink("host_sink", graph.output_spec, images.shape[0])
 
     kernels: dict[str, Kernel] = {}
@@ -274,6 +280,17 @@ def build_pipeline(
             _wire(
                 engine, graph, prod, consumer_kernel, name, port, spec, dfe_of_node, link, fclk_mhz, crossings, skip_streams, skip_caps
             )
+
+    # Image-boundary marks for the per-image lifecycle records: the sink
+    # edge gives every image a "first pixel reached the sink" instant and
+    # each inter-DFE crossing a "first pixel left the partition" instant.
+    if sink.inputs:
+        sink.inputs[0].mark_every = graph.output_spec.elements
+    crossing_edges = {f"{c.edge[0]}->{c.edge[1]}[" for c in crossings}
+    for stream in engine.streams:
+        if stream.latency > 0 and any(stream.name.startswith(p) for p in crossing_edges):
+            from_node = stream.name.split("->", 1)[0]
+            stream.mark_every = graph.specs[from_node].elements
 
     return Pipeline(
         engine=engine,
@@ -379,6 +396,7 @@ def simulate(
     telemetry: "Telemetry | None" = None,
     skip_sizing: str | dict[str, int] = "exact",
     sanitize: bool = True,
+    arrival_cycles: list[int] | None = None,
 ) -> StreamingRun:
     """Cycle-accurately stream ``images`` through ``graph``.
 
@@ -412,6 +430,7 @@ def simulate(
         link=link,
         fclk_mhz=fclk_mhz,
         skip_sizing=skip_sizing,
+        arrival_cycles=arrival_cycles,
     )
     if telemetry is not None:
         telemetry.attach_pipeline(pipeline)

@@ -59,6 +59,8 @@ class Stream:
         "reader",
         "writer",
         "tracer",
+        "mark_every",
+        "mark_cycles",
     )
 
     def __init__(self, name: str, capacity: int = 4, latency: int = 0, bits: int = 2) -> None:
@@ -79,6 +81,14 @@ class Stream:
         # Event tracer installed by Engine.run(trace=...) for the duration
         # of a traced run; None keeps the hot path hook-free.
         self.tracer: Tracer | None = None
+        # Image-boundary marks: with ``mark_every`` set to the per-image
+        # element count of the producing node, the push cycle of every
+        # image's first element is recorded in ``mark_cycles`` — the
+        # "first-pixel-out" instant the per-image lifecycle records use at
+        # partition boundaries and the sink edge.  0 disables marking (one
+        # int test per push when off).
+        self.mark_every: int = 0
+        self.mark_cycles: list[int] = []
 
     def __repr__(self) -> str:
         return f"Stream({self.name!r}, occ={len(self._fifo)}/{self.capacity})"
@@ -104,6 +114,8 @@ class Stream:
         ready = cycle + 1 + self.latency
         fifo.append((int(value), ready))
         stats.pushes += 1
+        if self.mark_every and (stats.pushes - 1) % self.mark_every == 0:
+            self.mark_cycles.append(cycle)
         if occ >= stats.max_occupancy:
             stats.max_occupancy = occ + 1
         tracer = self.tracer
@@ -170,3 +182,4 @@ class Stream:
     def reset(self) -> None:
         self._fifo.clear()
         self.stats = StreamStats()
+        self.mark_cycles = []

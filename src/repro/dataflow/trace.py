@@ -101,10 +101,25 @@ class RejectSpan:
 
 @dataclass(slots=True)
 class ImageCompletion:
-    """One image fully emerged from the host sink."""
+    """One image fully emerged from the host sink.
+
+    ``admission`` is the cycle the image's first element entered the fabric
+    (stamped by the host source), so the pair renders as a duration — the
+    image's lifecycle span — rather than a bare completion instant.  It is
+    ``-1`` when the source never reported an admission (a custom pipeline
+    without a :class:`~repro.kernels.io.HostSource`); schema
+    ``repro-trace/2`` added the field, everything older in the JSON shape is
+    unchanged.
+    """
 
     index: int
     cycle: int
+    admission: int = -1
+
+    @property
+    def span_cycles(self) -> int:
+        """Ingest-to-sink cycles, or 0 when the admission is unknown."""
+        return self.cycle - self.admission if self.admission >= 0 else 0
 
 
 class Tracer:
@@ -123,6 +138,7 @@ class Tracer:
         self.completions: list[ImageCompletion] = []
         self.total_cycles: int | None = None
         self._stream_meta: dict[str, dict[str, int]] = {}
+        self._admissions: dict[int, int] = {}
         self._attached = False
 
     # -- engine lifecycle ------------------------------------------------
@@ -204,8 +220,12 @@ class Tracer:
                 return
         spans.append(RejectSpan(stream, start, end))
 
+    def on_image_admitted(self, index: int, cycle: int) -> None:
+        """Image ``index``'s first element entered the fabric at ``cycle``."""
+        self._admissions[index] = cycle
+
     def on_image_complete(self, index: int, cycle: int) -> None:
-        self.completions.append(ImageCompletion(index, cycle))
+        self.completions.append(ImageCompletion(index, cycle, self._admissions.get(index, -1)))
 
     # -- derived views ---------------------------------------------------
     def occupancy_timeline(self, stream: str) -> list[tuple[int, int]]:
@@ -318,6 +338,25 @@ class Tracer:
                 events.append({**common, "ph": "b", "ts": pushed})
                 events.append({**common, "ph": "e", "ts": ready})
         for completion in self.completions:
+            if completion.admission >= 0:
+                # Lifecycle span: ingest (admission) to sink completion —
+                # images render as durations on an "images" track.
+                events.append(
+                    {
+                        "name": f"image {completion.index}",
+                        "cat": "image",
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": len(self.kernel_spans),
+                        "ts": completion.admission,
+                        "dur": max(1, completion.span_cycles),
+                        "args": {
+                            "admission_cycle": completion.admission,
+                            "completion_cycle": completion.cycle,
+                            "span_cycles": completion.span_cycles,
+                        },
+                    }
+                )
             events.append(
                 {
                     "name": f"image {completion.index} complete",
@@ -329,11 +368,22 @@ class Tracer:
                     "s": "g",
                 }
             )
+        if any(c.admission >= 0 for c in self.completions):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": len(self.kernel_spans),
+                    "args": {"name": "images"},
+                }
+            )
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
             "otherData": {
                 "engine": self.engine_name,
+                "schema": "repro-trace/2",
                 "total_cycles": self.total_cycles,
                 "time_unit": "1 trace us == 1 simulated cycle",
                 "streams": self._stream_meta,

@@ -19,11 +19,31 @@ __all__ = ["HostSource", "HostSink"]
 
 
 class HostSource(Kernel):
-    """Streams a batch of images into the first on-fabric kernel."""
+    """Streams a batch of images into the first on-fabric kernel.
+
+    Each image's *admission cycle* — the cycle its first element entered the
+    fabric — is stamped into :attr:`admission_cycles`, giving every image
+    the ingest end of its lifecycle span (the sink records the completion
+    end).  An optional ``arrival_cycles`` schedule turns the source into an
+    **open-loop** load generator: image *i* is withheld until its arrival
+    cycle, modelling requests landing at the host at a target rate instead
+    of back-to-back.  The gap between arrival and admission is the
+    host-queue wait (backpressure from a saturated pipeline shows up here
+    first).  While waiting for a future arrival the source parks idle with a
+    self-scheduled wake at exactly that cycle, so the fast scheduler skips
+    the gap and the idle accounting stays bit-identical to the exhaustive
+    loop.
+    """
 
     blocked_rejects_output = True
 
-    def __init__(self, name: str, images: np.ndarray, spec: TensorSpec) -> None:
+    def __init__(
+        self,
+        name: str,
+        images: np.ndarray,
+        spec: TensorSpec,
+        arrival_cycles: list[int] | None = None,
+    ) -> None:
         super().__init__(name)
         images = np.asarray(images)
         if images.ndim == 3:
@@ -37,17 +57,59 @@ class HostSource(Kernel):
         # touches numpy scalars.
         self._flat = images.reshape(-1).astype(np.int64).tolist()
         self._n = len(self._flat)
+        self._per_image = spec.elements
         self._pos = 0
+        # Position of the next image boundary: pos == _boundary means the
+        # next element pushed is the first element of image len(admission_cycles).
+        self._boundary = 0
+        self.admission_cycles: list[int] = []
+        if arrival_cycles is not None:
+            arrival_cycles = [int(c) for c in arrival_cycles]
+            if len(arrival_cycles) != self.n_images:
+                raise ValueError(
+                    f"arrival schedule has {len(arrival_cycles)} entries "
+                    f"for {self.n_images} image(s)"
+                )
+            if any(c < 0 for c in arrival_cycles):
+                raise ValueError("arrival cycles must be >= 0")
+            if any(b < a for a, b in zip(arrival_cycles, arrival_cycles[1:])):
+                raise ValueError("arrival cycles must be non-decreasing")
+        self.arrival_cycles = arrival_cycles
 
     @property
     def done(self) -> bool:
         return self._pos >= self._n
 
-    def tick(self, cycle: int) -> None:
+    def arrived_count(self, cycle: int) -> int:
+        """Images available at the host by ``cycle`` (all of them closed-loop)."""
+        if self.arrival_cycles is None:
+            return self.n_images
+        count = 0
+        for arrival in self.arrival_cycles:
+            if arrival <= cycle:
+                count += 1
+            else:
+                break
+        return count
+
+    def tick(self, cycle: int) -> int | None:
         pos = self._pos
         if pos >= self._n:
             return self._idle(cycle)
+        at_boundary = pos == self._boundary
+        if at_boundary and self.arrival_cycles is not None:
+            arrival = self.arrival_cycles[len(self.admission_cycles)]
+            if cycle < arrival:
+                # The next image has not arrived yet: idle until it does.
+                self._wake_hint = arrival
+                return self._idle(cycle)
         if self.outputs[0].push(self._flat[pos], cycle):
+            if at_boundary:
+                self.admission_cycles.append(cycle)
+                self._boundary += self._per_image
+                tracer = self._tracer
+                if tracer is not None:
+                    tracer.on_image_admitted(len(self.admission_cycles) - 1, cycle)
             self._pos = pos + 1
             stats = self.stats
             stats.elements_out += 1
@@ -55,12 +117,15 @@ class HostSource(Kernel):
             if stats.first_active_cycle is None:
                 stats.first_active_cycle = cycle
             stats.last_active_cycle = cycle
+            return None
         else:
             return self._blocked(cycle)
 
     def reset(self) -> None:
         super().reset()
         self._pos = 0
+        self._boundary = 0
+        self.admission_cycles = []
 
 
 class HostSink(Kernel):

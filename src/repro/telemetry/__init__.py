@@ -14,13 +14,25 @@ The observability layer the ROADMAP's serving-system north star needs:
   python/numpy versions, topology) stamped onto every export;
 * :mod:`~repro.telemetry.dashboard` — the ``repro top`` live view;
 * :mod:`~repro.telemetry.attribution` — the ``repro stats`` bottleneck
-  report, naming the same edges ``repro check`` anchors its diagnostics to.
+  report, naming the same edges ``repro check`` anchors its diagnostics to;
+* :mod:`~repro.telemetry.latency` — per-image lifecycle records (arrival,
+  admission, per-partition first-pixel-out, completion) and exact
+  nearest-rank percentile summaries, scheduler-independent by construction;
+* :mod:`~repro.telemetry.loadgen` — the ``repro load`` open-loop load
+  generator: seeded arrival processes, offered-vs-achieved FPS, SLO
+  verdicts, and FINN-style latency-throughput sweeps.
 
 Telemetry is strictly opt-in: with no collector attached the engine's hot
 loops stay hook-free (one ``is not None`` test per simulated cycle).
 """
 
-from .attribution import AttributionReport, attribute_run, deadlock_root_edge, run_attributed
+from .attribution import (
+    AttributionReport,
+    attribute_run,
+    deadlock_root_edge,
+    kernel_attributions,
+    run_attributed,
+)
 from .collector import DEFAULT_SAMPLE_EVERY, OCCUPANCY_BUCKETS, Telemetry
 from .dashboard import Dashboard, render_frame
 from .exporters import (
@@ -30,16 +42,42 @@ from .exporters import (
     validate_exposition,
     write_text_file,
 )
+from .latency import (
+    LATENCY_BUCKETS,
+    ImageRecord,
+    LatencyReport,
+    LatencySummary,
+    exact_quantile,
+    image_records,
+    latency_report,
+    reconcile,
+    tail_attribution,
+)
+from .loadgen import (
+    ArrivalSchedule,
+    LoadResult,
+    fixed_rate_schedule,
+    make_schedule,
+    poisson_schedule,
+    run_load,
+    sweep,
+)
 from .manifest import host_manifest, run_manifest
 from .registry import Counter, Gauge, Histogram, MetricFamily, MetricsRegistry
 
 __all__ = [
+    "ArrivalSchedule",
     "AttributionReport",
     "Counter",
     "Dashboard",
     "DEFAULT_SAMPLE_EVERY",
     "Gauge",
     "Histogram",
+    "ImageRecord",
+    "LATENCY_BUCKETS",
+    "LatencyReport",
+    "LatencySummary",
+    "LoadResult",
     "MetricFamily",
     "MetricsRegistry",
     "OCCUPANCY_BUCKETS",
@@ -47,12 +85,21 @@ __all__ = [
     "Telemetry",
     "attribute_run",
     "deadlock_root_edge",
+    "exact_quantile",
+    "fixed_rate_schedule",
     "host_manifest",
+    "image_records",
+    "kernel_attributions",
+    "latency_report",
+    "make_schedule",
+    "poisson_schedule",
+    "reconcile",
     "render_frame",
     "render_prometheus",
     "run_attributed",
+    "run_load",
     "run_manifest",
     "snapshot_registry",
-    "validate_exposition",
-    "write_text_file",
+    "sweep",
+    "tail_attribution",
 ]

@@ -37,6 +37,7 @@ __all__ = [
     "AttributionReport",
     "deadlock_root_edge",
     "attribute_run",
+    "kernel_attributions",
     "run_attributed",
 ]
 
@@ -103,14 +104,26 @@ class AttributionReport:
                 f"{k.blocked:>10,} {k.idle:>10,}  {cause}"
             )
         lines.append("  paper summary:")
+        # Explicit n/a markers: an aborted/deadlocked run may have zero
+        # completed images, and silently omitting the headline quantities
+        # reads like an oversight rather than a measurement that does not
+        # exist.
         if self.initiation_cycles is not None:
             lines.append(f"    initiation interval: {self.initiation_cycles:,} cycles  [SIV-B4]")
+        else:
+            lines.append("    initiation interval: n/a (no kernel became active)")
         if self.latency_cycles is not None:
             lines.append(f"    first-image latency: {self.latency_cycles:,} cycles")
+        else:
+            lines.append("    first-image latency: n/a (no image completed)")
         if self.interval_cycles is not None and self.fps is not None:
             lines.append(
                 f"    steady-state interval: {self.interval_cycles:,.1f} cycles/image "
                 f"-> {self.fps:,.1f} FPS @ {self.fclk_mhz:g} MHz"
+            )
+        else:
+            lines.append(
+                "    steady-state interval / FPS: n/a (needs two completed images)"
             )
         for link in self.links:
             lines.append(
@@ -172,19 +185,15 @@ def _backpressure_edge(kernel: Any) -> str | None:
     ).name
 
 
-def attribute_run(
-    pipeline: "Pipeline",
-    cycles: int,
-    aborted: bool = False,
-    abort_message: str | None = None,
-) -> AttributionReport:
-    """Build the attribution report from a pipeline's post-run engine state."""
-    from ..hardware.resources import weight_cache_blocks
-    from ..nn.graph import ConvNode
+def kernel_attributions(engine: "Engine") -> list[KernelAttribution]:
+    """Per-kernel stall accounting for every kernel of a finished engine.
 
-    engine = pipeline.engine
+    The rows (in engine order, unsorted) carry each kernel's stall-adjusted
+    utilization, dominant verdict, and the specific starving or
+    back-pressuring edge — the accounting both :func:`attribute_run` and
+    the latency tail attribution rank bottlenecks with.
+    """
     kernels: list[KernelAttribution] = []
-    first_actives: list[int] = []
     for kernel in engine.kernels:
         stats = kernel.stats
         busy = stats.active_cycles
@@ -216,8 +225,26 @@ def attribute_run(
                 edge_role=role,
             )
         )
-        if stats.first_active_cycle is not None:
-            first_actives.append(stats.first_active_cycle)
+    return kernels
+
+
+def attribute_run(
+    pipeline: "Pipeline",
+    cycles: int,
+    aborted: bool = False,
+    abort_message: str | None = None,
+) -> AttributionReport:
+    """Build the attribution report from a pipeline's post-run engine state."""
+    from ..hardware.resources import weight_cache_blocks
+    from ..nn.graph import ConvNode
+
+    engine = pipeline.engine
+    kernels = kernel_attributions(engine)
+    first_actives: list[int] = [
+        k.stats.first_active_cycle
+        for k in engine.kernels
+        if k.stats.first_active_cycle is not None
+    ]
     kernels.sort(key=lambda k: (k.utilization, k.name))
 
     completions = sorted(pipeline.sink.completion_cycles)

@@ -18,7 +18,12 @@ A :class:`Telemetry` object attached to
 * **derived gauges** — initiation interval, image latency, steady-state
   interval and FPS at the configured fabric clock, per-kernel duty cycle
   and stall-adjusted utilization;
-* an **images-completed counter** read from the host sink.
+* an **images-completed counter** read from the host sink;
+* **per-image latency** — exact nearest-rank p50/p95/p99/max service
+  latency gauges (admission to completion, matching
+  :mod:`repro.telemetry.latency` bit-for-bit), a service-latency
+  histogram observed once per completed image, and a host-queue depth
+  gauge (images arrived but not yet admitted — the open-loop backlog).
 
 Overhead contract (held by the ``bench_streaming_sim`` regression guard):
 with no telemetry attached the engine's hot loops pay exactly one
@@ -41,6 +46,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
 
+from .latency import LATENCY_BUCKETS, exact_quantile
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 
 if TYPE_CHECKING:
@@ -155,6 +161,10 @@ class Telemetry:
         self._stream_probes: list[_StreamProbe] = []
         self._link_probes: list[_LinkProbe] = []
         self._sinks: list[Any] = []
+        self._sources: list[Any] = []
+        # Completed images whose service latency is already in the histogram
+        # (samples overlap; each image must be observed exactly once).
+        self._latency_observed = 0
         self._declare_families()
 
     # -- setup -----------------------------------------------------------
@@ -243,6 +253,20 @@ class Telemetry:
             "repro_throughput_fps",
             "Steady-state images/second at the configured fabric clock.",
         )
+        self._m_lat_quant = r.gauge(
+            "repro_image_service_latency_quantile_cycles",
+            "Exact nearest-rank service-latency quantile (admission to completion).",
+            ("quantile",),
+        )
+        self._m_lat_hist = r.histogram(
+            "repro_image_service_latency_cycles",
+            "Per-image service latency, observed once per completed image.",
+            LATENCY_BUCKETS,
+        )
+        self._m_queue_depth = r.gauge(
+            "repro_host_queue_depth",
+            "Images arrived at the host but not yet admitted into the fabric.",
+        )
 
     def add_listener(self, listener: Listener) -> None:
         """Register a callable invoked as ``listener(telemetry, cycle)`` per sample."""
@@ -278,6 +302,8 @@ class Telemetry:
             )
             if hasattr(kernel, "completion_cycles"):
                 self._sinks.append(kernel)
+            if hasattr(kernel, "admission_cycles"):
+                self._sources.append(kernel)
         for stream in engine.streams:
             name = stream.name
             self._stream_probes.append(
@@ -400,6 +426,34 @@ class Telemetry:
         if first_actives:
             self._m_initiation.set(max(first_actives))
 
+        # Per-image service latency: pair sink completions with source
+        # admissions by image index (the single-source/single-sink pipelines
+        # this engine builds keep both lists in index order).
+        service: list[int] = []
+        if len(self._sources) == 1 and len(self._sinks) == 1:
+            admissions = self._sources[0].admission_cycles
+            done = self._sinks[0].completion_cycles
+            service = [done[i] - admissions[i] for i in range(min(len(done), len(admissions)))]
+        for value in service[self._latency_observed :]:
+            self._m_lat_hist.observe(value)
+        self._latency_observed = max(self._latency_observed, len(service))
+        quantiles: dict[str, int | None] = {"p50": None, "p95": None, "p99": None, "max": None}
+        if service:
+            quantiles = {
+                "p50": exact_quantile(service, 0.50),
+                "p95": exact_quantile(service, 0.95),
+                "p99": exact_quantile(service, 0.99),
+                "max": max(service),
+            }
+            self._m_lat_quant.labels(quantile="0.5").set(quantiles["p50"])  # type: ignore[union-attr, arg-type]
+            self._m_lat_quant.labels(quantile="0.95").set(quantiles["p95"])  # type: ignore[union-attr, arg-type]
+            self._m_lat_quant.labels(quantile="0.99").set(quantiles["p99"])  # type: ignore[union-attr, arg-type]
+            self._m_lat_quant.labels(quantile="1.0").set(quantiles["max"])  # type: ignore[union-attr, arg-type]
+        queue_depth = sum(
+            source.arrived_count(cycle) - len(source.admission_cycles) for source in self._sources
+        )
+        self._m_queue_depth.set(queue_depth)
+
         self.last = {
             "cycle": cycle,
             "images": len(completions),
@@ -407,6 +461,11 @@ class Telemetry:
             "interval": interval,
             "fps": (self.fclk_mhz * 1e6 / interval) if interval else None,
             "initiation": max(first_actives) if first_actives else None,
+            "latency_p50": quantiles["p50"],
+            "latency_p95": quantiles["p95"],
+            "latency_p99": quantiles["p99"],
+            "latency_max": quantiles["max"],
+            "queue_depth": queue_depth,
         }
         for listener in self._listeners:
             listener(self, cycle)

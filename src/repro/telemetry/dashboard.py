@@ -51,6 +51,18 @@ def render_frame(telemetry: "Telemetry", max_streams: int = 12) -> str:
         parts.append(f"II {initiation:,} cyc")
     if parts:
         head.append("  " + " | ".join(parts))
+    p99 = last.get("latency_p99")
+    queue_depth = last.get("queue_depth")
+    if p99 is not None:
+        lat = (
+            f"  latency p50 {last['latency_p50']:,} | p95 {last['latency_p95']:,} "
+            f"| p99 {p99:,} | max {last['latency_max']:,} cyc"
+        )
+        if queue_depth:
+            lat += f" | host queue {queue_depth}"
+        head.append(lat)
+    elif telemetry.finished and images == 0:
+        head.append("  latency: n/a (no completed images)")
 
     lines = head + ["", "  kernel                  utilization              busy/starved/blocked"]
     for row in telemetry.kernel_rows():

@@ -356,3 +356,141 @@ def test_deadlock_root_edge_none_on_healthy_engine(tiny_residual):
     pipeline = build_pipeline(graph, images)
     pipeline.engine.run(lambda: pipeline.sink.done)
     assert deadlock_root_edge(pipeline.engine) is None
+
+
+# -- dashboard rendering contract ------------------------------------------
+
+
+def _bare_telemetry(last):
+    """A collector with no probes: the frame is fully determined by .last."""
+    telemetry = Telemetry()
+    telemetry.last = last
+    return telemetry
+
+
+GOLDEN_LAST = {
+    "cycle": 1234,
+    "images": 2,
+    "latency": 600,
+    "interval": 300.0,
+    "fps": 350000.0,
+    "initiation": 100,
+    "latency_p50": 600,
+    "latency_p95": 610,
+    "latency_p99": 612,
+    "latency_max": 620,
+    "queue_depth": 3,
+}
+
+GOLDEN_FRAME = "\n".join(
+    [
+        "repro top — running @ cycle 1,234 | images 2",
+        "  350,000.0 FPS @ 105 MHz | interval 300 cyc/img | II 100 cyc",
+        "  latency p50 600 | p95 610 | p99 612 | max 620 cyc | host queue 3",
+        "",
+        "  kernel                  utilization              busy/starved/blocked",
+    ]
+)
+
+
+def test_dashboard_golden_frame():
+    """The frame layout is a contract: headline, latency row, kernel table."""
+    assert render_frame(_bare_telemetry(dict(GOLDEN_LAST))) == GOLDEN_FRAME
+
+
+def test_dashboard_latency_na_marker():
+    telemetry = _bare_telemetry({"cycle": 50, "images": 0})
+    telemetry.finished = True
+    frame = render_frame(telemetry)
+    assert "latency: n/a (no completed images)" in frame
+    # Mid-run with nothing completed yet: no latency row, no n/a noise.
+    running = _bare_telemetry({"cycle": 50, "images": 0})
+    assert "latency" not in render_frame(running)
+
+
+def test_dashboard_ansi_redraw_and_throttle(monkeypatch):
+    """Fake clock: frames drop inside min_interval_s, final frame always lands."""
+    import io
+
+    from repro.telemetry import dashboard as dashboard_mod
+    from repro.telemetry.dashboard import Dashboard
+
+    clock = {"now": 1000.0}
+    monkeypatch.setattr(dashboard_mod.time, "monotonic", lambda: clock["now"])
+    out = io.StringIO()
+    board = Dashboard(out=out, min_interval_s=0.5, ansi=True)
+    telemetry = _bare_telemetry(dict(GOLDEN_LAST))
+
+    board(telemetry, 1234)  # renders (first frame)
+    board(telemetry, 1300)  # dropped: clock has not advanced
+    assert board.frames == 1
+    clock["now"] += 0.1
+    board(telemetry, 1400)  # still inside the throttle window
+    assert board.frames == 1
+    clock["now"] += 1.0
+    board(telemetry, 1500)  # renders
+    assert board.frames == 2
+    telemetry.finished = True
+    board(telemetry, 1600)  # final frame ignores the throttle
+    assert board.frames == 3
+    text = out.getvalue()
+    # Every rendered frame is an in-place ANSI redraw of the golden frame
+    # (the final one swaps the "running" headline for "run complete").
+    assert text.count("\x1b[H\x1b[J") == 3
+    final_frame = GOLDEN_FRAME.replace("running", "run complete")
+    assert text == ("\x1b[H\x1b[J" + GOLDEN_FRAME + "\n") * 2 + (
+        "\x1b[H\x1b[J" + final_frame + "\n"
+    )
+
+
+def test_periodic_exporter_fake_sample_cadence(tmp_path):
+    """every_samples gates writes; the final sample always flushes."""
+
+    class _FakeTelemetry:
+        def __init__(self):
+            self.finished = False
+            self.prom_renders = 0
+
+        def export_prometheus(self):
+            self.prom_renders += 1
+            return f"# render {self.prom_renders}\n"
+
+        def export_json(self):
+            return {"renders": self.prom_renders}
+
+    prom = tmp_path / "metrics.prom"
+    snap = tmp_path / "snapshot.json"
+    exporter = PeriodicExporter(prom_path=prom, json_path=snap, every_samples=3)
+    telemetry = _FakeTelemetry()
+    for cycle in range(1, 8):  # samples 1..7: writes on 3 and 6 only
+        exporter(telemetry, cycle * 100)
+    assert telemetry.prom_renders == 2
+    telemetry.finished = True
+    exporter(telemetry, 800)  # sample 8: not a multiple of 3, but final
+    assert telemetry.prom_renders == 3
+    assert prom.read_text() == "# render 3\n"
+    assert json.loads(snap.read_text()) == {"renders": 3}
+
+
+def test_periodic_exporter_refuses_existing_outputs_up_front(tmp_path):
+    prom = tmp_path / "metrics.prom"
+    snap = tmp_path / "snapshot.json"
+    snap.write_text("{}")
+    with pytest.raises(FileExistsError, match="--force"):
+        PeriodicExporter(prom_path=prom, json_path=snap)
+    assert not prom.exists()  # the guard fired before any write
+    PeriodicExporter(prom_path=prom, json_path=snap, force=True)
+
+
+def test_attribution_renders_na_markers_on_zero_completions(tiny_residual):
+    """An aborted run with no completed image degrades to explicit n/a
+    markers instead of dividing by zero or printing garbage."""
+    graph, images = tiny_residual
+    exact = solve_skip_capacities(graph)
+    injected = dict(exact)
+    injected[sorted(exact)[0]] = 1  # deadlock before any image completes
+    report = run_attributed(graph, images, skip_sizing=injected, max_cycles=50_000)
+    assert report.aborted
+    rendered = report.render()
+    assert "first-image latency: n/a (no image completed)" in rendered
+    assert "steady-state interval / FPS: n/a (needs two completed images)" in rendered

@@ -212,3 +212,27 @@ def test_tracer_is_single_use():
     simulate(graph, _images(1, n=1), trace=tracer, **kwargs)
     with pytest.raises(ValueError, match="single-use"):
         simulate(graph, _images(1, n=1), trace=tracer, **kwargs)
+
+
+def test_chrome_trace_image_lifecycle_spans(traced_runs):
+    """Schema v2: every completed image renders as an admission->sink span."""
+    fast, _, tracer, _ = traced_runs["chain"]
+    data = tracer.to_chrome_trace()
+    assert data["otherData"]["schema"] == "repro-trace/2"
+    spans = [
+        e for e in data["traceEvents"] if e["ph"] == "X" and e.get("cat") == "image"
+    ]
+    assert len(spans) == len(tracer.completions)
+    by_index = {f"image {c.index}": c for c in tracer.completions}
+    for span in spans:
+        completion = by_index[span["name"]]
+        assert completion.admission >= 0
+        assert span["ts"] == completion.admission
+        assert span["dur"] == max(1, completion.span_cycles)
+        assert span["args"]["admission_cycle"] == completion.admission
+        assert span["args"]["completion_cycle"] == completion.cycle
+    # The dedicated "images" track is named via thread metadata.
+    threads = [
+        e for e in data["traceEvents"] if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    assert any(e["args"]["name"] == "images" for e in threads)
