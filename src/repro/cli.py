@@ -7,10 +7,12 @@ Commands
 ``report NETWORK [--size N] [--device stratix5|stratix10]``
     Full design report (resources / partition / timing / power / GPU
     baseline) for ``vgg``, ``alexnet`` or ``resnet18``.
-``simulate [--size N] [--images M] [--json] [--prom F] [--snapshot F]``
+``simulate [--size N] [--images M] [--mode MODE] [--json] [--prom F] [--snapshot F]``
     Train nothing, build a tiny random-threshold network, stream images
     through the cycle-accurate simulator and print the pipeline waterfall
     (or, with ``--json``, a machine-readable telemetry snapshot).
+    ``--mode`` picks the scheduler — ``exhaustive``, ``fast`` (default) or
+    ``leap`` — all bit-identical, fastest last.
 ``trace [--size N] [--images M] [--out trace.json] [--force]``
     Stream a network with event tracing enabled and write the full
     cycle-exact event log as Chrome-trace JSON (load it at
@@ -129,7 +131,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 print(exc, file=sys.stderr)
                 return 2
 
-    run = simulate(graph, images, telemetry=telemetry)
+    run = simulate(graph, images, telemetry=telemetry, mode=args.mode)
 
     if args.json:
         assert telemetry is not None
@@ -154,6 +156,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     if args.images > 1:
         print(f"steady-state interval: {run.run.steady_state_interval:,.0f} cycles/image")
+    if run.leap_report is not None:
+        rep = run.leap_report
+        if rep.leaps:
+            print(
+                f"leap: skipped {rep.leaped_cycles:,} cycles in {rep.leaps} jump(s) "
+                f"({rep.windows} period(s) of {rep.period:,} cycles)"
+            )
+        else:
+            print("leap: no steady-state window found (ran on the fast path)")
     trace = analyze_run(run.run)
     print(render_waterfall(trace))
     if args.prom:
@@ -393,6 +404,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--size", type=int, default=16)
     p_sim.add_argument("--images", type=int, default=1)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--mode",
+        choices=["exhaustive", "fast", "leap"],
+        default="fast",
+        help="scheduler: exhaustive tick loop, park/wake fast path, or "
+        "steady-state leap (bit-identical results; see DESIGN.md §4.6)",
+    )
     p_sim.add_argument(
         "--json",
         action="store_true",

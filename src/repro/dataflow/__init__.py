@@ -1,7 +1,9 @@
 """Maxeler-style streaming dataflow substrate: streams, kernels, engine, manager."""
 
 from .engine import Engine, RunResult
+from .interval import exact_completion_period, mean_completion_interval
 from .kernel import Kernel, KernelStats
+from .leap import LeapController, LeapReport, batch_reference_outputs
 from .links import MAXRING, PCIE_GEN2_X8, LinkSpec, required_bandwidth_mbps
 from .manager import (
     DEFAULT_STREAM_CAPACITY,
@@ -43,6 +45,11 @@ __all__ = [
     "RunResult",
     "Kernel",
     "KernelStats",
+    "LeapController",
+    "LeapReport",
+    "batch_reference_outputs",
+    "exact_completion_period",
+    "mean_completion_interval",
     "MAXRING",
     "PCIE_GEN2_X8",
     "LinkSpec",

@@ -21,12 +21,14 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .interval import mean_completion_interval
 from .kernel import STALL_BLOCKED, STALL_STARVED, WAKE_NEVER, Kernel, KernelStats
 from .stream import Stream, StreamStats
 from .trace import Tracer
 
 if TYPE_CHECKING:
     from ..telemetry.collector import Telemetry
+    from .leap import LeapController
 
 __all__ = ["Engine", "RunResult"]
 
@@ -52,10 +54,7 @@ class RunResult:
     @property
     def steady_state_interval(self) -> float:
         """Mean cycles between consecutive image completions (throughput⁻¹)."""
-        if len(self.completion_cycles) < 2:
-            raise ValueError("need at least two completed images for an interval")
-        diffs = np.diff(self.completion_cycles)
-        return float(diffs.mean())
+        return mean_completion_interval(self.completion_cycles)
 
     def overlap_fraction(self, kernels: list[str]) -> float:
         """Fraction of the run during which all named kernels were concurrently live.
@@ -115,6 +114,7 @@ class Engine:
         fast: bool = True,
         trace: Tracer | None = None,
         telemetry: "Telemetry | None" = None,
+        leap: "LeapController | None" = None,
     ) -> int:
         """Tick kernels until ``done()`` is true; returns the cycle count.
 
@@ -142,12 +142,25 @@ class Engine:
         exactly with :meth:`collect_stats`.  On a non-converging run the
         collector is left unsealed for the caller (see
         :func:`repro.telemetry.attribution.run_attributed`).
+
+        ``leap`` accepts a :class:`~repro.dataflow.leap.LeapController`
+        (built by ``LeapController.for_engine``): on top of the fast
+        scheduler, proven steady-state periods are skipped wholesale, with
+        every counter, list, park offset and trace event synthesized to
+        stay bit-identical to the exhaustive loop.  Requires ``fast=True``.
         """
         if max_cycles <= 0:
             raise ValueError(
                 f"engine {self.name!r}: max_cycles must be a positive cycle budget, "
                 f"got {max_cycles!r}"
             )
+        if leap is not None:
+            if not fast:
+                raise ValueError(
+                    f"engine {self.name!r}: the leap scheduler extends the fast path; "
+                    "pass fast=True (or drop the controller)"
+                )
+            trace = leap.begin_run(max_cycles, trace)
         if trace is not None:
             trace.attach(self)
         if telemetry is not None:
@@ -156,7 +169,7 @@ class Engine:
         self._telemetry = telemetry
         try:
             if fast:
-                cycles = self._run_fast(done, max_cycles)
+                cycles = self._run_fast(done, max_cycles, leap)
             else:
                 cycles = self._run_exhaustive(done, max_cycles)
             if trace is not None:
@@ -227,7 +240,12 @@ class Engine:
     #   tick every cycle, so arbitrary user kernels degrade to the
     #   exhaustive semantics rather than to wrong schedules.
 
-    def _run_fast(self, done: Callable[[], bool], max_cycles: int) -> int:
+    def _run_fast(
+        self,
+        done: Callable[[], bool],
+        max_cycles: int,
+        leap: "LeapController | None" = None,
+    ) -> int:
         kernels = self.kernels
         tracer = self._tracer
         telemetry = self._telemetry
@@ -296,6 +314,17 @@ class Engine:
                         # next image arrives.  Other STALL_IDLE kernels never
                         # wake and are settled at end of run.
                         kernel._wake_at = kernel._wake_hint
+            if leap is not None:
+                # After the sweep the cycle's state is final: the controller
+                # snapshots at sink completions and, once periodicity is
+                # proven, fast-forwards whole steady-state periods.  The
+                # jump lands on the same all-counters-exact state the loop
+                # would reach by simulating them, so everything below
+                # (telemetry sampling, budget abort, park bookkeeping)
+                # continues unchanged.
+                jumped = leap.on_cycle_end(cycle)
+                if jumped is not None:
+                    cycle = jumped
             cycle += 1
             if telemetry is not None and cycle >= telemetry.next_sample_at:
                 # Mid-run samples virtually account parked kernels' pending

@@ -52,6 +52,8 @@ class ConvKernel(Kernel):
     """
 
     blocked_rejects_output = True
+    supports_leap = True
+    leap_counters = ("images_done",)
 
     def __init__(
         self, name: str, node: ConvNode, in_spec: TensorSpec, use_bitops: bool = False
@@ -164,6 +166,49 @@ class ConvKernel(Kernel):
         out = ((acc_f * self._th_sv)[:, None] >= ends).sum(axis=-1, dtype=np.int64)
         out = np.where(self._th_is_const, self._th_const, out)
         return out.tolist()
+
+    def leap_phase(self, cycle: int) -> tuple[int, ...]:
+        # Scan position and emit backlog fully determine the next tick's
+        # control flow; window *contents* are data and never steer it.
+        return (self._window._pos, len(self._pending))
+
+    def batch_compute(self, x: np.ndarray) -> np.ndarray:
+        """All output pixels of a batch of images as one blocked GEMM.
+
+        ``x`` is ``(N, H, W, C)`` level-space int64; the result is
+        ``(N, Ho, Wo, O)``.  The W-windows × N-images im2col matrix goes
+        through the same float64 weight matrix and vectorized threshold
+        cascade as the streaming per-window path — every product and sum is
+        an exact integer far below 2**53, so the batched result is
+        bit-identical regardless of BLAS blocking (and to the bitops route,
+        a tested property).  The leap scheduler uses this to synthesize the
+        outputs of images whose cycles it fast-forwarded over.
+        """
+        n = x.shape[0]
+        k, stride = self.k, self.stride
+        grid = np.full((n, self.hp, self.wp, self.channels), float(self._pad_value))
+        p = self.pad
+        grid[:, p : self.hp - p, p : self.wp - p, :] = x
+        n_out_r = (self.hp - k) // stride + 1
+        n_out_c = (self.wp - k) // stride + 1
+        # One (C_in, O) GEMM per window tap, accumulated over the k*k taps:
+        # im2col would gather the same data into one giant matrix, but the
+        # strided 6D copy dwarfs the GEMM itself at batch scale.  The weight
+        # matrix unflattens back to (k, k, C, O) — the ScanWindow tap order.
+        taps = self._wmat_f.reshape(k, k, self.channels, self.out_channels)
+        acc = np.zeros((n, n_out_r, n_out_c, self.out_channels))
+        for dr in range(k):
+            for dc in range(k):
+                rows = grid[:, dr : dr + (n_out_r - 1) * stride + 1 : stride,
+                            dc : dc + (n_out_c - 1) * stride + 1 : stride, :]
+                acc += rows @ taps[dr, dc]
+        ends = self._th_ends
+        if ends is None:
+            out = acc.astype(np.int64)
+        else:
+            out = ((acc * self._th_sv)[..., None] >= ends).sum(axis=-1, dtype=np.int64)
+            out = np.where(self._th_is_const, self._th_const, out)
+        return out
 
     def _accumulate_bitpacked(self, vec: np.ndarray) -> np.ndarray:
         """One AND-popcount GEMM for a single window vector.

@@ -10,6 +10,8 @@ buffer."
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..dataflow.kernel import Kernel
 
 __all__ = ["AddKernel", "ForkKernel"]
@@ -22,6 +24,9 @@ class AddKernel(Kernel):
     output has space; the skip path carries 16-bit integers in hardware.
     """
 
+    supports_leap = True
+    leap_counters = ("images_done",)
+
     def __init__(self, name: str, per_image_elements: int) -> None:
         super().__init__(name)
         self._per_image = per_image_elements
@@ -30,6 +35,13 @@ class AddKernel(Kernel):
 
     def expected_cycles_per_image(self) -> int:
         return self._per_image
+
+    def leap_phase(self, cycle: int) -> tuple[int, ...]:
+        return (self._count,)
+
+    def batch_compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Batched functional residual add over ``(N, H, W, C)`` tensors."""
+        return a + b
 
     def tick(self, cycle: int) -> None:
         a, b = self.inputs
@@ -67,6 +79,9 @@ class ForkKernel(Kernel):
     has no storage of its own.
     """
 
+    supports_leap = True
+    leap_counters = ("images_done",)
+
     def __init__(self, name: str, per_image_elements: int) -> None:
         super().__init__(name)
         self._per_image = per_image_elements
@@ -75,6 +90,9 @@ class ForkKernel(Kernel):
 
     def expected_cycles_per_image(self) -> int:
         return self._per_image
+
+    def leap_phase(self, cycle: int) -> tuple[int, ...]:
+        return (self._count,)
 
     def tick(self, cycle: int) -> None:
         inp = self.inputs[0]

@@ -36,6 +36,8 @@ class HostSource(Kernel):
     """
 
     blocked_rejects_output = True
+    leap_counters = ("_pos", "_boundary")
+    leap_cycle_lists = ("admission_cycles",)
 
     def __init__(
         self,
@@ -75,10 +77,24 @@ class HostSource(Kernel):
             if any(b < a for a, b in zip(arrival_cycles, arrival_cycles[1:])):
                 raise ValueError("arrival cycles must be non-decreasing")
         self.arrival_cycles = arrival_cycles
+        # An open-loop source's behaviour depends on the absolute arrival
+        # schedule, which a leaped clock would skip over — the leap
+        # scheduler must fall back to the plain fast path (tested property).
+        self.supports_leap = arrival_cycles is None
 
     @property
     def done(self) -> bool:
         return self._pos >= self._n
+
+    def leap_phase(self, cycle: int) -> tuple[int, ...]:
+        # Position within the current image (drives boundary marks) plus a
+        # wet/dry flag: a drained source idles where a wet one pushes, so
+        # the two states must never compare equal.
+        return (self._boundary - self._pos, int(self._pos < self._n))
+
+    def leap_images_left(self) -> int:
+        """Whole images not yet begun — the leap scheduler's admission budget."""
+        return (self._n - self._pos) // self._per_image
 
     def arrived_count(self, cycle: int) -> int:
         """Images available at the host by ``cycle`` (all of them closed-loop)."""
@@ -131,6 +147,11 @@ class HostSource(Kernel):
 class HostSink(Kernel):
     """Collects the output stream and reassembles per-image tensors."""
 
+    supports_leap = True
+    leap_counters = ("_pos",)
+    leap_cycle_lists = ("completion_cycles",)
+    leap_value_lists = ("_values",)
+
     def __init__(self, name: str, spec: TensorSpec, n_images: int) -> None:
         super().__init__(name)
         self.spec = spec
@@ -144,6 +165,9 @@ class HostSink(Kernel):
     @property
     def done(self) -> bool:
         return self._pos >= self._total
+
+    def leap_phase(self, cycle: int) -> tuple[int, ...]:
+        return (self._pos % self._per_image,)
 
     def tick(self, cycle: int) -> None:
         pos = self._pos

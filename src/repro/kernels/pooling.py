@@ -28,6 +28,9 @@ __all__ = ["MaxPoolKernel"]
 class MaxPoolKernel(Kernel):
     """Max pooling over a depth-first pixel stream, one in / up to one out per cycle."""
 
+    supports_leap = True
+    leap_counters = ("images_done",)
+
     def __init__(self, name: str, node: MaxPoolNode, in_spec: TensorSpec) -> None:
         super().__init__(name)
         self.k = node.kernel_size
@@ -64,6 +67,24 @@ class MaxPoolKernel(Kernel):
     def expected_cycles_per_image(self) -> int:
         """Pooling adds no stall cycles: per-image cost is the scan itself."""
         return self._total
+
+    def leap_phase(self, cycle: int) -> tuple[int, ...]:
+        return (self._pos,)
+
+    def batch_compute(self, x: np.ndarray) -> np.ndarray:
+        """Batched functional max pool, ``(N, H, W, C)`` -> ``(N, Ho, Wo, C)``.
+
+        Mirrors the streaming kernel exactly: the grid is padded with level 0
+        (neutral under max for non-negative levels) and outputs appear at the
+        stride-valid window positions.
+        """
+        n = x.shape[0]
+        grid = np.zeros((n, self.h, self.w, self.channels), dtype=np.int64)
+        p = self.pad
+        grid[:, p : self.h - p, p : self.w - p, :] = x
+        windows = np.lib.stride_tricks.sliding_window_view(grid, (self.k, self.k), axis=(1, 2))
+        windows = windows[:, :: self.stride, :: self.stride]
+        return windows.max(axis=(-2, -1))
 
     def _position(self) -> tuple[int, int, int]:
         pixel, i = divmod(self._pos, self.channels)

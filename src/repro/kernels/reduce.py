@@ -20,6 +20,8 @@ class GlobalAvgSumKernel(Kernel):
     """Per-channel integer sum over the full spatial extent."""
 
     blocked_rejects_output = True
+    supports_leap = True
+    leap_counters = ("images_done",)
 
     def __init__(self, name: str, in_spec: TensorSpec) -> None:
         super().__init__(name)
@@ -33,6 +35,13 @@ class GlobalAvgSumKernel(Kernel):
     def expected_cycles_per_image(self) -> int:
         """Consume every element, then drain the C channel sums."""
         return self._per_image + self.channels
+
+    def leap_phase(self, cycle: int) -> tuple[int, ...]:
+        return (self._count, -1 if self._emit_chan is None else self._emit_chan)
+
+    def batch_compute(self, x: np.ndarray) -> np.ndarray:
+        """Batched exact integer channel sums, ``(N, H, W, C)`` -> ``(N, 1, 1, C)``."""
+        return x.sum(axis=(1, 2), keepdims=True, dtype=np.int64)
 
     def tick(self, cycle: int) -> None:
         out = self.outputs[0]

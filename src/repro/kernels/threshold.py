@@ -22,6 +22,9 @@ __all__ = ["ThresholdKernel"]
 class ThresholdKernel(Kernel):
     """Streaming fused BatchNorm + n-bit activation."""
 
+    supports_leap = True
+    leap_counters = ("images_done",)
+
     def __init__(self, name: str, node: ThresholdNode, in_spec: TensorSpec) -> None:
         super().__init__(name)
         self.unit = node.unit
@@ -49,6 +52,28 @@ class ThresholdKernel(Kernel):
 
     def expected_cycles_per_image(self) -> int:
         return self._per_image
+
+    def leap_phase(self, cycle: int) -> tuple[int, ...]:
+        return (self._chan, self._count)
+
+    def batch_compute(self, x: np.ndarray) -> np.ndarray:
+        """Batched threshold pass over ``(N, H, W, C)``, one searchsorted per channel.
+
+        Mirrors the per-element bisect of :meth:`tick` exactly — bisect_right
+        on ascending endpoints for positive slopes, the reversed left-search
+        count for negative ones, the constant level where the slope is zero.
+        """
+        out = np.empty(x.shape, dtype=np.int64)
+        for c in range(self.channels):
+            v = x[..., c]
+            sign = self._signs[c]
+            if sign == 0:
+                out[..., c] = self._const[c]
+            elif sign > 0:
+                out[..., c] = np.searchsorted(self._asc[c], v, side="right")
+            else:
+                out[..., c] = self._n_ends - np.searchsorted(self._asc[c], v, side="left")
+        return out
 
     def _level(self, value: float, chan: int) -> int:
         sign = self._signs[chan]

@@ -46,6 +46,7 @@ from __future__ import annotations
 from collections.abc import Callable
 from typing import TYPE_CHECKING, Any
 
+from ..dataflow.interval import mean_completion_interval
 from .latency import LATENCY_BUCKETS, exact_quantile
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 
@@ -419,7 +420,7 @@ class Telemetry:
         if completions:
             self._m_latency.set(completions[0])
         if len(completions) >= 2:
-            interval = (completions[-1] - completions[0]) / (len(completions) - 1)
+            interval = mean_completion_interval(completions)
             self._m_interval.set(interval)
             if interval > 0:
                 self._m_fps.set(self.fclk_mhz * 1e6 / interval)

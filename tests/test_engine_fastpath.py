@@ -1,12 +1,15 @@
-"""Fast-path / exhaustive-path equivalence for the cycle simulator.
+"""Scheduler equivalence for the cycle simulator: exhaustive / fast / leap.
 
-The park/wake scheduler (``Engine.run(..., fast=True)``) must be *observably
-identical* to the exhaustive per-cycle tick loop: same total cycles, same
-per-image completion cycles, same output tensors, and bit-identical kernel
-and stream statistics — stall counters included, since the paper's occupancy
-and bottleneck analyses are computed from them.  These tests drive every
-tiny topology used across the suite through both paths, plus
-hypothesis-randomized networks for the long tail of shapes.
+The park/wake scheduler (``Engine.run(..., fast=True)``) and the
+steady-state leap scheduler (``simulate(..., mode="leap")``) must both be
+*observably identical* to the exhaustive per-cycle tick loop: same total
+cycles, same per-image completion cycles, same output tensors, bit-identical
+kernel and stream statistics — stall counters included, since the paper's
+occupancy and bottleneck analyses are computed from them — and byte-identical
+event traces.  These tests drive every tiny topology used across the suite
+through all three paths, plus hypothesis-randomized networks for the long
+tail of shapes.  (Deeper leap-specific behaviour — demotion, vetoes, the
+paper-scale interval check — lives in test_leap.py.)
 """
 
 from __future__ import annotations
@@ -74,6 +77,29 @@ def test_fast_path_matches_exhaustive(topology):
     _assert_runs_identical(slow, fast)
 
 
+@pytest.mark.parametrize("topology", ["chain", "resnet", "bitops", "multi_dfe"])
+def test_leap_mode_matches_exhaustive_and_fast(topology):
+    """Three-way equivalence with the leap scheduler actually leaping.
+
+    Eight images give the pipeline enough steady state for the controller
+    to prove a period and jump; everything observable — cycles, outputs,
+    stats, and the full event trace — must still be bit-identical.
+    """
+    graph, kwargs = _case(topology)
+    images = _images(1, n=8)
+    t_slow, t_fast, t_leap = Tracer(), Tracer(), Tracer()
+    slow = simulate(graph, images, mode="exhaustive", trace=t_slow, **kwargs)
+    fast = simulate(graph, images, mode="fast", trace=t_fast, **kwargs)
+    leap = simulate(graph, images, mode="leap", trace=t_leap, **kwargs)
+    _assert_runs_identical(slow, fast)
+    _assert_runs_identical(slow, leap)
+    assert t_fast.state() == t_slow.state()
+    assert t_leap.state() == t_slow.state()
+    assert leap.leap_report is not None
+    assert leap.leap_report.leaps >= 1, "leap controller never engaged"
+    assert fast.leap_report is None
+
+
 @settings(max_examples=10, deadline=None)
 @given(
     seed=st.integers(0, 10_000),
@@ -85,10 +111,12 @@ def test_fast_path_matches_exhaustive_random(seed, size, depth, with_residual):
     graph = build_random_graph(seed, size, depth, with_residual)
     rng = np.random.default_rng(seed + 1)
     channels = graph.input_spec.channels
-    images = rng.integers(0, 4, size=(2, size, size, channels), dtype=np.int64)
+    images = rng.integers(0, 4, size=(5, size, size, channels), dtype=np.int64)
     slow = simulate(graph, images, fast=False)
     fast = simulate(graph, images, fast=True)
+    leap = simulate(graph, images, mode="leap")
     _assert_runs_identical(slow, fast)
+    _assert_runs_identical(slow, leap)
 
 
 # -- synthetic regression topologies ------------------------------------
