@@ -131,7 +131,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 print(exc, file=sys.stderr)
                 return 2
 
-    run = simulate(graph, images, telemetry=telemetry, mode=args.mode)
+    arrival_cycles = None
+    if args.rate is not None:
+        from .telemetry.loadgen import make_schedule
+
+        arrival_cycles = make_schedule(
+            int(images.shape[0]), args.rate, args.process, args.seed
+        ).cycles
+
+    run = simulate(
+        graph, images, telemetry=telemetry, mode=args.mode, arrival_cycles=arrival_cycles
+    )
+    rep = run.leap_report
+    if rep is not None and rep.demoted:
+        print(
+            f"warning: leap demoted to the fast path: {rep.demotion_reason}",
+            file=sys.stderr,
+        )
 
     if args.json:
         assert telemetry is not None
@@ -142,8 +158,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             "images": int(images.shape[0]),
             "initiation_interval_cycles": telemetry.last.get("initiation"),
         }
-        if args.images > 1:
-            interval = run.run.steady_state_interval
+        interval = run.run.steady_state_interval
+        if interval is not None:
             stats["steady_state_interval_cycles"] = interval
             stats["fps"] = run.pipeline.fclk_mhz * 1e6 / interval
         payload["stats"] = stats
@@ -154,8 +170,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"{args.images} image(s) through {graph.name}: {run.cycles:,} cycles; "
         f"latency {run.latency_cycles:,}"
     )
-    if args.images > 1:
-        print(f"steady-state interval: {run.run.steady_state_interval:,.0f} cycles/image")
+    interval = run.run.steady_state_interval
+    if interval is not None:
+        print(f"steady-state interval: {interval:,.0f} cycles/image")
     if run.leap_report is not None:
         rep = run.leap_report
         if rep.leaps:
@@ -163,7 +180,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 f"leap: skipped {rep.leaped_cycles:,} cycles in {rep.leaps} jump(s) "
                 f"({rep.windows} period(s) of {rep.period:,} cycles)"
             )
-        else:
+        elif not rep.demoted:  # demotion already warned on stderr above
             print("leap: no steady-state window found (ran on the fast path)")
     trace = analyze_run(run.run)
     print(render_waterfall(trace))
@@ -291,6 +308,133 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 1 if result.aborted else 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .fleet import (
+        FleetConfig,
+        ReplicaSpec,
+        default_rate_ladder,
+        fleet_capacity_fps,
+        fleet_sweep,
+        min_replicas_for_slo,
+        parse_mix,
+        simulate_fleet,
+    )
+
+    try:
+        if args.mix:
+            specs = parse_mix(args.mix)
+        else:
+            specs = [ReplicaSpec(args.network, args.size, width=args.width)] * args.replicas
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.out and Path(args.out).exists() and not args.force:
+        print(f"{args.out} exists; pass --force to overwrite", file=sys.stderr)
+        return 2
+
+    def emit(payload: dict, what: str) -> None:
+        text = json.dumps(payload, indent=2)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            print(f"wrote {what} to {args.out}")
+        else:
+            print(text)
+
+    if args.find_capacity:
+        if args.rate is None:
+            print("--find-capacity needs --rate FPS (the offered load)", file=sys.stderr)
+            return 2
+        if args.slo_p99_cycles is None:
+            print("--find-capacity needs --slo-p99-cycles (the SLO)", file=sys.stderr)
+            return 2
+        answer = min_replicas_for_slo(
+            specs[0],
+            args.rate,
+            args.images,
+            args.slo_p99_cycles,
+            policy=args.policy,
+            max_replicas=args.max_replicas,
+            seed=args.seed,
+            process=args.process,
+            workers=args.workers,
+        )
+        if args.json or args.out:
+            emit(answer, "capacity answer")
+        else:
+            n = answer["min_replicas"]
+            verdict = (
+                f"{n} replica(s) of {specs[0].label()}"
+                if n is not None
+                else f"NOT satisfiable within {args.max_replicas} replica(s)"
+            )
+            print(
+                f"capacity [{args.policy}] p99 sojourn <= {args.slo_p99_cycles:,} cycles "
+                f"at {args.rate:,.1f} FPS: {verdict}"
+            )
+            for step in answer["trail"]:
+                p99 = step["p99_sojourn_cycles"]
+                shown = f"{p99:,}" if p99 is not None else "n/a"
+                mark = "ok" if step["satisfied"] else "MISS"
+                print(f"  R={step['replicas']}: p99 sojourn {shown} cycles [{mark}]")
+        return 0 if answer["min_replicas"] is not None else 1
+
+    if args.sweep is not None:
+        rates = args.sweep or default_rate_ladder(specs)
+        policies = args.policies or [args.policy]
+        config = FleetConfig(
+            replicas=specs,
+            rate_fps=rates[0],
+            n_requests=args.images,
+            policy=policies[0],
+            process="poisson" if policies[0] == "static" else args.process,
+            seed=args.seed,
+            batch=args.batch,
+            max_cycles=args.max_cycles,
+            workers=args.workers,
+        )
+        payload = fleet_sweep(config, rates, policies)
+        emit(payload, f"{len(rates)}-point fleet frontier ({', '.join(policies)})")
+        return 0
+
+    if args.rate is None:
+        rate = 0.5 * fleet_capacity_fps(specs)
+    else:
+        rate = args.rate
+    try:
+        config = FleetConfig(
+            replicas=specs,
+            rate_fps=rate,
+            n_requests=args.images,
+            policy=args.policy,
+            process="poisson" if args.policy == "static" else args.process,
+            seed=args.seed,
+            batch=args.batch,
+            max_cycles=args.max_cycles,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    report = simulate_fleet(config)
+    if args.json or args.out:
+        emit(report.as_dict(), "fleet report")
+    else:
+        print(report.render())
+    if args.slo_p99_cycles is not None and report.slo_violated(args.slo_p99_cycles):
+        p99 = report.aggregate["sojourn_cycles"]["p99"]
+        shown = f"{p99:,}" if p99 is not None else "n/a"
+        print(
+            f"SLO VIOLATION: fleet p99 sojourn {shown} cycles "
+            f"exceeds --slo-p99-cycles {args.slo_p99_cycles:,}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if report.aggregate["conserved"] else 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .models import direct_resnet18_graph, direct_vgg_graph
     from .nn.graph import AddNode
@@ -412,6 +556,19 @@ def build_parser() -> argparse.ArgumentParser:
         "steady-state leap (bit-identical results; see DESIGN.md §4.6)",
     )
     p_sim.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop arrivals at this offered FPS instead of back-to-back "
+        "streaming (note: an open-loop source demotes --mode leap)",
+    )
+    p_sim.add_argument(
+        "--process",
+        choices=["fixed", "poisson"],
+        default="fixed",
+        help="arrival process for --rate (poisson draws seeded exponential gaps)",
+    )
+    p_sim.add_argument(
         "--json",
         action="store_true",
         help="print a machine-readable telemetry snapshot instead of the waterfall",
@@ -511,6 +668,99 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the exhaustive reference scheduler instead of the fast path",
     )
     p_load.set_defaults(func=_cmd_load)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="fleet-scale serving: R replicas, admission routing, shared PCIe ingress",
+    )
+    p_fleet.add_argument("--replicas", type=int, default=4, help="homogeneous replica count")
+    p_fleet.add_argument(
+        "--mix",
+        default=None,
+        help=(
+            "heterogeneous fleet as comma-separated name[:size[:width]] specs "
+            "(overrides --replicas/--network/--size/--width)"
+        ),
+    )
+    p_fleet.add_argument("--network", choices=["vgg", "alexnet", "resnet18"], default="vgg")
+    p_fleet.add_argument("--size", type=int, default=16)
+    p_fleet.add_argument("--width", type=float, default=0.0625)
+    p_fleet.add_argument("--images", type=int, default=16, help="total requests across the fleet")
+    p_fleet.add_argument(
+        "--policy",
+        choices=["rr", "jsq", "batch", "static"],
+        default="rr",
+        help="admission policy (static pre-partitions independent Poisson streams)",
+    )
+    p_fleet.add_argument(
+        "--policies",
+        nargs="+",
+        choices=["rr", "jsq", "batch", "static"],
+        default=None,
+        metavar="POLICY",
+        help="with --sweep: emit one frontier per policy",
+    )
+    p_fleet.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered fleet-wide rate in FPS (default: half the profiled capacity)",
+    )
+    p_fleet.add_argument(
+        "--sweep",
+        type=float,
+        nargs="*",
+        default=None,
+        metavar="FPS",
+        help=(
+            "emit per-policy latency-throughput frontiers over these rates "
+            "(bare --sweep auto-brackets the profiled fleet capacity)"
+        ),
+    )
+    p_fleet.add_argument(
+        "--process",
+        choices=["fixed", "poisson"],
+        default="fixed",
+        help="arrival process for shared-router policies",
+    )
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="process-pool size for replica simulation (0 = serial reference path)",
+    )
+    p_fleet.add_argument(
+        "--batch", type=int, default=4, help="batch-aware policy's re-route granularity"
+    )
+    p_fleet.add_argument(
+        "--slo-p99-cycles",
+        type=int,
+        default=None,
+        help="exit non-zero unless fleet p99 sojourn is within this many cycles",
+    )
+    p_fleet.add_argument(
+        "--find-capacity",
+        action="store_true",
+        help="answer: how many replicas hold the --slo-p99-cycles SLO at --rate?",
+    )
+    p_fleet.add_argument(
+        "--max-replicas",
+        type=int,
+        default=8,
+        help="--find-capacity search ceiling (the MPC-X node holds 8 DFEs)",
+    )
+    p_fleet.add_argument(
+        "--json", action="store_true", help="print the machine-readable report instead of text"
+    )
+    p_fleet.add_argument("--out", default=None, help="write the JSON payload to this file")
+    p_fleet.add_argument(
+        "--force", action="store_true", help="overwrite an existing --out file"
+    )
+    p_fleet.add_argument(
+        "--max-cycles", type=int, default=50_000_000, help="per-replica abort budget in cycles"
+    )
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_stats = sub.add_parser(
         "stats", help="bottleneck attribution report for a simulated run"

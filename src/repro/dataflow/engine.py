@@ -52,8 +52,8 @@ class RunResult:
         return self.completion_cycles[0]
 
     @property
-    def steady_state_interval(self) -> float:
-        """Mean cycles between consecutive image completions (throughput⁻¹)."""
+    def steady_state_interval(self) -> float | None:
+        """Mean cycles between completions (throughput⁻¹); ``None`` under two."""
         return mean_completion_interval(self.completion_cycles)
 
     def overlap_fraction(self, kernels: list[str]) -> float:

@@ -19,16 +19,19 @@ from collections.abc import Sequence
 __all__ = ["mean_completion_interval", "exact_completion_period"]
 
 
-def mean_completion_interval(completion_cycles: Sequence[int]) -> float:
+def mean_completion_interval(completion_cycles: Sequence[int]) -> float | None:
     """Mean cycles between consecutive completions (throughput⁻¹).
 
     Equals ``(last - first) / (n - 1)``; completion cycles are integers, so
     the sum of gaps is exact in float64 and this closed form is bit-identical
-    to averaging ``np.diff``.  Raises :class:`ValueError` with fewer than two
-    completions — a single image has a latency, not an interval.
+    to averaging ``np.diff``.  Returns ``None`` with fewer than two
+    completions — a single image has a latency, not an interval, and an
+    explicit ``None`` is what telemetry gauges and bench ``extra_info`` rows
+    render as ``n/a`` (rather than a division-by-zero or a NaN silently
+    propagating into exports).
     """
     if len(completion_cycles) < 2:
-        raise ValueError("need at least two completed images for an interval")
+        return None
     span = completion_cycles[-1] - completion_cycles[0]
     return span / (len(completion_cycles) - 1)
 

@@ -65,13 +65,22 @@ _MAX_SNAPSHOTS = 8
 
 @dataclass
 class LeapReport:
-    """What the leap controller did during one run."""
+    """What the leap controller did during one run.
+
+    A ``mode="leap"`` request that never got a controller (an open-loop
+    source, a multi-source/sink graph, a kernel outside the contract) still
+    produces a report: ``demoted`` is set and ``demotion_reason`` carries
+    the human-readable reason from :meth:`LeapController.ineligibility`, so
+    the CLI can warn instead of silently running the fast path.
+    """
 
     leaps: int = 0  # jumps taken
     windows: int = 0  # total periods skipped across all jumps
     leaped_cycles: int = 0  # total cycles skipped
     period: int = 0  # last proven period, in cycles
     vetoes: int = 0  # jumps abandoned by delta validation
+    demoted: bool = False  # True when no controller could be built at all
+    demotion_reason: str | None = None
 
 
 @dataclass
@@ -211,6 +220,41 @@ class LeapController:
         self.report = LeapReport()
 
     @classmethod
+    def ineligibility(cls, engine: Engine) -> str | None:
+        """Why ``engine`` cannot leap, or ``None`` when it can.
+
+        The single source of the demotion rules: :meth:`for_engine` builds a
+        controller exactly when this returns ``None``, and the returned
+        string is what ``StreamingRun.leap_report.demotion_reason`` (and the
+        CLI's one-line warning) surface to the user.
+        """
+        kernels = engine.kernels
+        if not kernels:
+            return "engine has no kernels"
+        outside = [k for k in kernels if not k.supports_leap]
+        if outside:
+            # An open-loop host source opts out on construction; name that
+            # case explicitly — it is the routine one (repro load, fleet
+            # replicas), not a custom-kernel escape hatch.
+            open_loop = [k for k in outside if getattr(k, "arrival_cycles", None) is not None]
+            if open_loop:
+                return (
+                    f"open-loop arrival schedule on source {open_loop[0].name!r} "
+                    "(leap requires closed-loop, back-to-back admission)"
+                )
+            names = ", ".join(repr(k.name) for k in outside[:3])
+            more = f" (+{len(outside) - 3} more)" if len(outside) > 3 else ""
+            return f"kernel(s) outside the value-independence contract: {names}{more}"
+        sources = [k for k in kernels if hasattr(k, "leap_images_left")]
+        sinks = [k for k in kernels if hasattr(k, "completion_cycles")]
+        if len(sources) != 1 or len(sinks) != 1:
+            return (
+                f"{len(sources)} host source(s) and {len(sinks)} host sink(s); "
+                "the periodicity proof needs exactly one of each"
+            )
+        return None
+
+    @classmethod
     def for_engine(cls, engine: Engine) -> LeapController | None:
         """A controller for ``engine``, or ``None`` when leap cannot apply.
 
@@ -219,13 +263,11 @@ class LeapController:
         open-loop host source) demotes the whole run to the fast path
         rather than risking a wrong schedule.
         """
-        kernels = engine.kernels
-        if not kernels or not all(k.supports_leap for k in kernels):
+        if cls.ineligibility(engine) is not None:
             return None
+        kernels = engine.kernels
         sources = [k for k in kernels if hasattr(k, "leap_images_left")]
         sinks = [k for k in kernels if hasattr(k, "completion_cycles")]
-        if len(sources) != 1 or len(sinks) != 1:
-            return None
         return cls(engine, sources[0], sinks[0])
 
     # -- run lifecycle ---------------------------------------------------

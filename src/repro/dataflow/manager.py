@@ -102,8 +102,9 @@ class StreamingRun:
     cycles: int
     run: RunResult
     pipeline: Pipeline
-    # Set on mode="leap" runs that found a controller (None otherwise):
-    # how many steady-state periods were skipped and at what period.
+    # Set on every mode="leap" run (None for other modes): how many
+    # steady-state periods were skipped and at what period, or — when no
+    # controller could be built at all — the demotion flag and reason.
     leap_report: LeapReport | None = None
 
     @property
@@ -111,7 +112,7 @@ class StreamingRun:
         return self.run.latency_cycles
 
     @property
-    def steady_state_interval(self) -> float:
+    def steady_state_interval(self) -> float | None:
         return self.run.steady_state_interval
 
 
@@ -432,8 +433,9 @@ def simulate(
     kernels' batched functional paths.  Results (cycles, outputs, stats,
     traces, per-image instants) are bit-identical across all three modes;
     pipelines outside the leap contract (open-loop arrivals, custom
-    kernels) silently degrade to the fast path — check
-    ``StreamingRun.leap_report`` to see whether leaps actually happened.
+    kernels) degrade to the fast path with
+    ``StreamingRun.leap_report.demoted`` set and ``demotion_reason``
+    naming the cause — check the report to see whether leaps happened.
     """
     if mode is not None:
         if mode not in ("exhaustive", "fast", "leap"):
@@ -454,7 +456,19 @@ def simulate(
     )
     if telemetry is not None:
         telemetry.attach_pipeline(pipeline)
-    controller = LeapController.for_engine(pipeline.engine) if mode == "leap" else None
+    controller: LeapController | None = None
+    demoted_report: LeapReport | None = None
+    if mode == "leap":
+        controller = LeapController.for_engine(pipeline.engine)
+        if controller is None:
+            # Leap was requested but cannot apply: record why, visibly.
+            # The run is still correct — it degrades to the plain fast
+            # path — but callers (the CLI, the fleet layer) can now warn
+            # instead of silently delivering fast-path wall-clock.
+            demoted_report = LeapReport(
+                demoted=True,
+                demotion_reason=LeapController.ineligibility(pipeline.engine),
+            )
     cycles = pipeline.engine.run(
         lambda: pipeline.sink.done,
         max_cycles=max_cycles,
@@ -468,7 +482,7 @@ def simulate(
 
         check_skip_high_water(pipeline, n_images=int(images.shape[0]))
     kstats, sstats = pipeline.engine.collect_stats()
-    leap_report = controller.report if controller is not None else None
+    leap_report = controller.report if controller is not None else demoted_report
     output = pipeline.sink.output_tensor()
     if leap_report is not None and leap_report.windows > 0:
         # Leaped windows streamed placeholder values through the sink; the

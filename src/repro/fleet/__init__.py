@@ -1,0 +1,65 @@
+"""Fleet-scale serving simulation: R replicas behind one admission router.
+
+The paper's MPC-X deployment unit is a node of 8 MAX4 DFEs behind one host;
+this package lifts the single-pipeline simulator to that scale:
+
+* :mod:`~repro.fleet.ingress` — the shared PCIe host link every image
+  transfer serializes over (FIFO, cycle-granular, same link math as the
+  cycle simulator);
+* :mod:`~repro.fleet.router` — host-side admission policies (round-robin,
+  join-shortest-queue, batch-aware JSQ) over a calibrated virtual queue
+  model, deterministic by construction;
+* :mod:`~repro.fleet.fleet` — plans, routes, and simulates whole fleets:
+  serial reference path and byte-identical multiprocessing worker pool,
+  per-policy latency-throughput frontiers (``repro fleet --sweep``), and
+  capacity answers ("how many DFEs hold p99 ≤ X at N req/s?").
+"""
+
+from .fleet import (
+    FleetConfig,
+    FleetPlan,
+    FleetReport,
+    ReplicaSpec,
+    default_rate_ladder,
+    fleet_capacity_fps,
+    fleet_sweep,
+    min_replicas_for_slo,
+    parse_mix,
+    plan_fleet,
+    profile_replica,
+    simulate_fleet,
+)
+from .ingress import IngressTransfer, SharedIngress
+from .router import (
+    POLICIES,
+    BatchAwareRouter,
+    JoinShortestQueueRouter,
+    ReplicaState,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+
+__all__ = [
+    "POLICIES",
+    "BatchAwareRouter",
+    "FleetConfig",
+    "FleetPlan",
+    "FleetReport",
+    "IngressTransfer",
+    "JoinShortestQueueRouter",
+    "ReplicaSpec",
+    "ReplicaState",
+    "RoundRobinRouter",
+    "Router",
+    "SharedIngress",
+    "default_rate_ladder",
+    "fleet_capacity_fps",
+    "fleet_sweep",
+    "make_router",
+    "min_replicas_for_slo",
+    "parse_mix",
+    "plan_fleet",
+    "profile_replica",
+    "simulate_fleet",
+]

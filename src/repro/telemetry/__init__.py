@@ -60,6 +60,7 @@ from .loadgen import (
     make_schedule,
     poisson_schedule,
     run_load,
+    spawn_poisson_schedules,
     sweep,
 )
 from .manifest import host_manifest, run_manifest
@@ -100,6 +101,7 @@ __all__ = [
     "run_load",
     "run_manifest",
     "snapshot_registry",
+    "spawn_poisson_schedules",
     "sweep",
     "tail_attribution",
 ]

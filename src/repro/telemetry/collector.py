@@ -416,11 +416,11 @@ class Telemetry:
             completions.extend(sink.completion_cycles)
         completions.sort()
         self._m_images.set_total(len(completions))
-        interval = None
         if completions:
             self._m_latency.set(completions[0])
-        if len(completions) >= 2:
-            interval = mean_completion_interval(completions)
+        # None under two completions: the gauges simply stay unset (n/a).
+        interval = mean_completion_interval(completions)
+        if interval is not None:
             self._m_interval.set(interval)
             if interval > 0:
                 self._m_fps.set(self.fclk_mhz * 1e6 / interval)

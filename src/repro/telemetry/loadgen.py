@@ -40,6 +40,7 @@ __all__ = [
     "make_schedule",
     "poisson_schedule",
     "run_load",
+    "spawn_poisson_schedules",
     "sweep",
 ]
 
@@ -108,6 +109,39 @@ def poisson_schedule(
         at += float(g)
         cycles.append(round(at))
     return ArrivalSchedule("poisson", float(rate_fps), float(fclk_mhz), seed, cycles[:n_images])
+
+
+def spawn_poisson_schedules(
+    n_replicas: int,
+    n_images: int,
+    rate_fps: float,
+    seed: int,
+    fclk_mhz: float = DEFAULT_FCLK_MHZ,
+) -> list[ArrivalSchedule]:
+    """One *independent* Poisson arrival stream per replica, from one seed.
+
+    Seeding N replicas with the same integer (``poisson_schedule(..,
+    seed)`` N times) replays the identical exponential gap sequence on
+    every replica: all queues fill and drain in lockstep, which understates
+    queueing relative to genuinely independent traffic — exactly the bias a
+    fleet capacity answer must not carry.  This helper derives one child
+    stream per replica via :meth:`numpy.random.SeedSequence.spawn`, the
+    construction NumPy guarantees to be statistically independent, while
+    staying fully deterministic given ``(n_replicas, n_images, rate, seed)``.
+
+    ``rate_fps`` is the *per-replica* offered rate; the returned schedules
+    are indexed by replica.
+    """
+    if n_replicas < 1:
+        raise ValueError(f"need at least one replica, got {n_replicas!r}")
+    children = np.random.SeedSequence(seed).spawn(n_replicas)
+    schedules = []
+    for child in children:
+        sched = poisson_schedule(
+            n_images, rate_fps, seed, fclk_mhz, rng=np.random.default_rng(child)
+        )
+        schedules.append(sched)
+    return schedules
 
 
 def make_schedule(

@@ -71,11 +71,18 @@ class TestIntervalHelpers:
         cycles = [100, 2464, 4828, 7192]
         assert mean_completion_interval(cycles) == float(np.diff(cycles).mean())
 
-    def test_mean_interval_needs_two_completions(self):
-        with pytest.raises(ValueError, match="at least two completed images"):
-            mean_completion_interval([42])
-        with pytest.raises(ValueError, match="at least two completed images"):
-            mean_completion_interval([])
+    def test_mean_interval_none_under_two_completions(self):
+        # Explicit None — not a raise, not a NaN: telemetry gauges and bench
+        # extra_info rows consume this directly and render n/a.
+        assert mean_completion_interval([42]) is None
+        assert mean_completion_interval([]) is None
+
+    def test_single_completion_run_reports_no_interval(self):
+        graph = _chain_graph()
+        run = simulate(graph, _images(graph, 1))
+        assert run.run.completion_cycles and len(run.run.completion_cycles) == 1
+        assert run.steady_state_interval is None
+        assert run.run.steady_state_interval is None
 
     def test_exact_period_of_agreeing_gaps(self):
         assert exact_completion_period([10, 20, 30]) == 10
@@ -116,11 +123,26 @@ class TestControllerConstruction:
         pipe = build_pipeline(graph, _images(graph, 2), arrival_cycles=[0, 9000])
         assert LeapController.for_engine(pipe.engine) is None
 
-    def test_open_loop_leap_run_reports_no_controller(self):
+    def test_open_loop_leap_run_reports_visible_demotion(self):
         graph = _chain_graph()
         images = _images(graph, 2)
         run = simulate(graph, images, mode="leap", arrival_cycles=[0, 9000])
-        assert run.leap_report is None  # degraded to the plain fast path
+        rep = run.leap_report  # degraded to the plain fast path, visibly
+        assert rep is not None and rep.demoted and rep.leaps == 0
+        assert rep.demotion_reason is not None and "open-loop" in rep.demotion_reason
+
+    def test_ineligibility_reasons_name_the_cause(self):
+        graph = _chain_graph()
+        closed = build_pipeline(graph, _images(graph, 2))
+        assert LeapController.ineligibility(closed.engine) is None
+        open_loop = build_pipeline(graph, _images(graph, 2), arrival_cycles=[0, 9000])
+        reason = LeapController.ineligibility(open_loop.engine)
+        assert reason is not None and "open-loop" in reason and "host_source" in reason
+        contract = build_pipeline(graph, _images(graph, 2))
+        compute = [k for k in contract.engine.kernels if k.__class__.supports_leap][0]
+        compute.supports_leap = False
+        reason = LeapController.ineligibility(contract.engine)
+        assert reason is not None and "contract" in reason and compute.name in reason
 
 
 # ---------------------------------------------------------------------------
@@ -181,7 +203,8 @@ class TestFallback:
         slow = simulate(graph, images, mode="exhaustive", arrival_cycles=arrivals)
         fast = simulate(graph, images, mode="fast", arrival_cycles=arrivals)
         leap = simulate(graph, images, mode="leap", arrival_cycles=arrivals)
-        assert leap.leap_report is None  # open loop: no controller at all
+        # Open loop: no controller at all, and the report says so.
+        assert leap.leap_report is not None and leap.leap_report.demoted
         assert slow.cycles == fast.cycles == leap.cycles
         assert (
             slow.run.completion_cycles

@@ -14,6 +14,7 @@ from repro.telemetry import (
     make_schedule,
     poisson_schedule,
     run_load,
+    spawn_poisson_schedules,
     sweep,
 )
 from repro.telemetry.loadgen import cycles_per_image
@@ -54,6 +55,30 @@ class TestSchedules:
         via_rng = poisson_schedule(8, 2000.0, seed=999, rng=rng)
         direct = poisson_schedule(8, 2000.0, seed=7)
         assert via_rng.cycles == direct.cycles  # seed is ignored when rng given
+
+    def test_spawned_replica_streams_are_decorrelated(self):
+        # Seeding N replicas with one shared integer replays the identical
+        # gap sequence everywhere — lockstep queues that understate fleet
+        # queueing.  SeedSequence.spawn children must (a) stay deterministic,
+        # (b) differ pairwise, and (c) carry no pairwise gap correlation.
+        n, images, rate = 4, 64, 5_000.0
+        streams = spawn_poisson_schedules(n, images, rate, seed=42)
+        again = spawn_poisson_schedules(n, images, rate, seed=42)
+        assert [s.cycles for s in streams] == [s.cycles for s in again]
+        for i in range(n):
+            for j in range(i + 1, n):
+                assert streams[i].cycles != streams[j].cycles
+                gaps_i = np.diff(streams[i].cycles).astype(float)
+                gaps_j = np.diff(streams[j].cycles).astype(float)
+                corr = np.corrcoef(gaps_i, gaps_j)[0, 1]
+                assert abs(corr) < 0.35, f"replicas {i},{j} correlated: r={corr:.3f}"
+        # The naive shared-seed construction is exactly the lockstep bug.
+        naive = [poisson_schedule(images, rate, seed=42) for _ in range(n)]
+        assert naive[0].cycles == naive[1].cycles
+
+    def test_spawn_rejects_zero_replicas(self):
+        with pytest.raises(ValueError):
+            spawn_poisson_schedules(0, 4, 100.0, seed=1)
 
     def test_make_schedule_dispatch(self):
         assert make_schedule(3, 100.0, "fixed").kind == "fixed"

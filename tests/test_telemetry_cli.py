@@ -43,6 +43,33 @@ class TestSimulateJson:
         assert prom.read_text() != "old\n"
 
 
+class TestSimulateLeapDemotion:
+    def test_open_loop_leap_warns_with_reason(self, capsys):
+        # An open-loop arrival schedule demotes --mode leap to the fast
+        # path; the CLI must say so (one stderr line naming the reason)
+        # instead of silently delivering fast-path wall clock.
+        rc = cli_main(
+            ["simulate", "--images", "2", "--mode", "leap", "--rate", "9000"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "leap demoted to the fast path" in captured.err
+        assert "open-loop" in captured.err
+        # The demotion line replaces the no-window note on stdout.
+        assert "no steady-state window" not in captured.out
+
+    def test_closed_loop_leap_does_not_warn(self, capsys):
+        rc = cli_main(["simulate", "--images", "2", "--mode", "leap"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "demoted" not in captured.err
+
+    def test_open_loop_rate_without_leap_mode_is_quiet(self, capsys):
+        rc = cli_main(["simulate", "--images", "2", "--rate", "9000"])
+        assert rc == 0
+        assert "demoted" not in capsys.readouterr().err
+
+
 class TestTraceOverwriteGuard:
     def test_trace_refuses_existing_out(self, capsys, tmp_path):
         out = tmp_path / "trace.json"
