@@ -366,6 +366,42 @@ def test_fleet_parallel_speedup(benchmark):
         )
 
 
+def test_streaming_plan_search(benchmark):
+    """Static partition planning end-to-end on the tiny VGG chain.
+
+    Times the whole ``plan_partition`` path — DP cut search, static
+    feasibility re-scoring, resource ledgers, and the winner's exact
+    zero-batch replay — on a fresh graph each round (the replay cache
+    lives on the graph, so reusing one would time a dict lookup).  The
+    recorded rate is replay-cycles per wall second, same currency as the
+    simulator cases, guarded against its own trajectory.
+    """
+    from repro.models import direct_vgg_graph
+    from repro.planner import plan_partition
+
+    def _plan():
+        graph = direct_vgg_graph(16, width=0.0625, classes=4)
+        return plan_partition(graph)
+
+    plan = benchmark(_plan)
+    seconds = benchmark.stats.stats.min
+    assert plan.n_dfes == 1 and plan.predicted is not None
+    assert plan.predicted.interval is not None
+    rate = plan.predicted.replay_cycles / seconds
+    benchmark.extra_info["n_dfes"] = plan.n_dfes
+    benchmark.extra_info["candidates_scored"] = plan.candidates_scored
+    benchmark.extra_info["simulated_cycles_per_second"] = round(rate, 1)
+    record(
+        "tiny_chain_plan",
+        plan.predicted.replay_cycles,
+        seconds,
+        n_dfes=plan.n_dfes,
+        candidates_scored=plan.candidates_scored,
+        predicted_interval=plan.predicted.interval,
+    )
+    _guard_regression("tiny_chain_plan", rate)
+
+
 def test_functional_inference_reference(benchmark):
     from repro.nn import run_graph
 

@@ -31,11 +31,22 @@ Commands
     the starving/back-pressuring edge for each, and the paper summary
     (II, FPS, link budget, BRAM waste).  ``--skip-capacity`` injects
     undersized skip FIFOs to demonstrate deadlock attribution.
-``check [TOPOLOGY ...] [--multi-dfe] [--strict] [--graph-only]``
+``check [TOPOLOGY ...] [--multi-dfe] [--strict] [--graph-only] [--json]``
     Statically verify pipelines without simulating a cycle: graph
     well-formedness, stream bitwidth contracts, §III-B5 skip buffer
     sizing (exact solver), link feasibility, BRAM geometry.  Topologies
     are ``name[:size[:width]]`` with name in vgg/alexnet/resnet18.
+    ``--json`` emits the machine-readable ``repro-check/1`` reports;
+    ``--plan`` verifies the partition planner's winner instead of the
+    greedy ``--multi-dfe`` cut.
+``plan TOPOLOGY [--objective min-dfes|min-latency] [--fill-cap F]``
+    Static partition planning: search the multi-DFE cut space (DP for
+    chains, branch-and-bound under skip constraints), score candidates
+    with the verifier's feasibility rules and resource ledgers, and emit
+    the winning ``repro-plan/1`` plan with its exact predicted interval.
+    ``--check`` re-verifies the winner strictly; ``--simulate`` streams
+    images through the planned partition and asserts the measured
+    interval equals the prediction bit-for-bit.
 ``list``
     List available experiment ids.
 """
@@ -343,6 +354,31 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         else:
             print(text)
 
+    if args.plan_dfes:
+        from .fleet import plan_fleet_dfes
+        from .planner import PlanError
+
+        try:
+            answer = plan_fleet_dfes(specs, fill_cap=args.fill_cap)
+        except PlanError as exc:
+            print(f"fleet --plan-dfes: {exc}", file=sys.stderr)
+            return 1
+        if args.json or args.out:
+            emit(answer, "fleet DFE plan")
+        else:
+            for rep in answer["replicas"]:
+                print(
+                    f"  {rep['label']}: {rep['n_dfes']} DFE(s), "
+                    f"peak utilization {rep['max_utilization']:.1%}"
+                )
+            verdict = "fits" if answer["fits_node"] else "DOES NOT FIT"
+            print(
+                f"fleet of {len(specs)} replica(s): {answer['total_dfes']} DFE(s) total — "
+                f"{verdict} one {answer['node_dfes']}-DFE MPC-X node "
+                f"(fill cap {answer['fill_cap']:.0%})"
+            )
+        return 0 if answer["fits_node"] else 1
+
     if args.find_capacity:
         if args.rate is None:
             print("--find-capacity needs --rate FPS (the offered load)", file=sys.stderr)
@@ -488,23 +524,44 @@ def _check_graph(name: str, size: int | None, width: float | None):
     raise ValueError(f"unknown network {name!r} (want vgg, alexnet or resnet18)")
 
 
+def _parse_topology(spec: str) -> tuple[str, int | None, float | None]:
+    parts = spec.split(":")
+    name = parts[0]
+    size = int(parts[1]) if len(parts) > 1 and parts[1] else None
+    width = float(parts[2]) if len(parts) > 2 and parts[2] else None
+    return name, size, width
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
     from .dataflow.verify import verify
 
     specs = args.topologies or DEFAULT_CHECK_TOPOLOGIES
+    if args.out and Path(args.out).exists() and not args.force:
+        print(f"{args.out} exists; pass --force to overwrite", file=sys.stderr)
+        return 2
     n_errors = n_warnings = 0
+    reports = []
     for spec in specs:
-        parts = spec.split(":")
-        name = parts[0]
-        size = int(parts[1]) if len(parts) > 1 and parts[1] else None
-        width = float(parts[2]) if len(parts) > 2 and parts[2] else None
+        name, size, width = _parse_topology(spec)
         try:
             graph = _check_graph(name, size, width)
         except ValueError as exc:
             print(f"check {spec}: {exc}", file=sys.stderr)
             return 2
         partition = None
-        if args.multi_dfe:
+        if args.plan:
+            from .planner import PlanError, plan_partition
+
+            try:
+                plan = plan_partition(graph, fill_cap=args.fill_cap, predict=False)
+            except PlanError as exc:
+                print(f"check {spec}: {exc}", file=sys.stderr)
+                return 2
+            partition = plan.groups
+        elif args.multi_dfe:
             from .hardware.partition import partition_network
 
             partition = partition_network(graph).groups
@@ -514,13 +571,147 @@ def _cmd_check(args: argparse.Namespace) -> int:
             exact=args.exact,
             build=not args.graph_only,
         )
-        print(report.render(show_info=not args.no_info))
-        print()
+        if args.json or args.out:
+            reports.append(report.as_dict())
+        else:
+            print(report.render(show_info=not args.no_info))
+            print()
         n_errors += len(report.errors)
         n_warnings += len(report.warnings)
+    if args.json or args.out:
+        payload = {"schema": "repro-check/1", "reports": reports}
+        text = json.dumps(payload, indent=2)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            print(f"wrote {len(reports)} check report(s) to {args.out}")
+        else:
+            print(text)
     if n_errors or (args.strict and n_warnings):
         return 1
     return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .planner import PlanError, neighbor_partitions, plan_partition
+
+    name, size, width = _parse_topology(args.topology)
+    try:
+        graph = _check_graph(name, size, width)
+    except ValueError as exc:
+        print(f"plan {args.topology}: {exc}", file=sys.stderr)
+        return 2
+    if args.out and Path(args.out).exists() and not args.force:
+        print(f"{args.out} exists; pass --force to overwrite", file=sys.stderr)
+        return 2
+    if args.device == "stratix10":
+        from .hardware.device import STRATIX_10_PROJECTION as device
+    else:
+        from .hardware.device import STRATIX_V_5SGSD8 as device
+
+    try:
+        plan = plan_partition(
+            graph,
+            objective=args.objective,
+            n_dfes=args.dfes,
+            slo_fps=args.slo_fps,
+            device=device,
+            fill_cap=args.fill_cap,
+        )
+    except PlanError as exc:
+        print(f"plan {args.topology}: {exc}", file=sys.stderr)
+        return 1
+
+    rc = 0
+    if args.check:
+        from .dataflow.verify import verify
+
+        report = verify(graph, partition=plan.groups)
+        if not (args.json or args.out):
+            print(report.render(show_info=False))
+        if report.errors or report.warnings:
+            print(
+                f"plan {args.topology}: winner FAILED strict re-verification",
+                file=sys.stderr,
+            )
+            rc = 1
+    if args.simulate and rc == 0:
+        from .dataflow import simulate
+
+        assert plan.predicted is not None
+        spec = graph.input_spec
+        rng = np.random.default_rng(args.seed)
+        images = rng.integers(
+            0, 4, size=(plan.predicted.n_images, spec.height, spec.width, spec.channels)
+        )
+        run = simulate(graph, images, partition=plan.groups, mode="leap")
+        measured = run.steady_state_interval
+        predicted = plan.predicted.interval
+        exact = (
+            measured == predicted
+            and run.latency_cycles == plan.predicted.latency_cycles
+        )
+        if not (args.json or args.out):
+            shown = f"{measured:,.1f}" if measured is not None else "n/a"
+            print(
+                f"  simulated: interval {shown} cycles/image, "
+                f"latency {run.latency_cycles:,} cycles "
+                f"[{'exact match' if exact else 'MISMATCH'}]"
+            )
+        if not exact:
+            print(
+                f"plan {args.topology}: simulated timing diverged from prediction "
+                f"(interval {measured} vs {predicted}, "
+                f"latency {run.latency_cycles} vs {plan.predicted.latency_cycles})",
+                file=sys.stderr,
+            )
+            rc = 1
+    if args.neighbors and rc == 0:
+        from .dataflow import simulate
+
+        assert plan.predicted is not None
+        spec = graph.input_spec
+        rng = np.random.default_rng(args.seed)
+        images = rng.integers(
+            0, 4, size=(plan.predicted.n_images, spec.height, spec.width, spec.channels)
+        )
+        for cuts, partition in neighbor_partitions(graph, plan):
+            run = simulate(graph, images, partition=partition, mode="leap")
+            interval = run.steady_state_interval
+            winner = plan.predicted.interval
+            worse = interval is None or winner is None or interval >= winner
+            if not (args.json or args.out):
+                shown = f"{interval:,.1f}" if interval is not None else "n/a"
+                print(
+                    f"  neighbor cuts={list(cuts)}: interval {shown} "
+                    f"[{'dominated' if worse else 'BEATS WINNER'}]"
+                )
+            if not worse:
+                print(
+                    f"plan {args.topology}: neighbor {list(cuts)} beats the winner "
+                    f"({interval} < {winner})",
+                    file=sys.stderr,
+                )
+                rc = 1
+
+    if args.json or args.out:
+        text = json.dumps(plan.as_dict(), indent=2)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            print(f"wrote plan to {args.out}")
+        else:
+            print(text)
+    else:
+        print(plan.render())
+        if args.audit:
+            for pruned in plan.audit:
+                print(
+                    f"  pruned cuts={list(pruned.cuts)}: {pruned.killed_by} "
+                    f"at {pruned.where} — {pruned.message}"
+                )
+    return rc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -745,6 +936,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer: how many replicas hold the --slo-p99-cycles SLO at --rate?",
     )
     p_fleet.add_argument(
+        "--plan-dfes",
+        action="store_true",
+        help=(
+            "static capacity check: min-DFE plan per replica via the partition "
+            "planner; exit non-zero if the mix overflows one 8-DFE MPC-X node"
+        ),
+    )
+    p_fleet.add_argument(
+        "--fill-cap",
+        type=float,
+        default=0.8,
+        help="with --plan-dfes: per-device resource budget fraction (default 0.8)",
+    )
+    p_fleet.add_argument(
         "--max-replicas",
         type=int,
         default=8,
@@ -803,7 +1008,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition with the resource partitioner and verify link feasibility",
     )
     p_check.add_argument(
+        "--plan",
+        action="store_true",
+        help="verify the partition planner's winner instead of the greedy --multi-dfe cut",
+    )
+    p_check.add_argument(
+        "--fill-cap",
+        type=float,
+        default=0.8,
+        help="with --plan: per-device resource budget fraction (default 0.8)",
+    )
+    p_check.add_argument(
         "--strict", action="store_true", help="exit non-zero on warnings too"
+    )
+    p_check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable repro-check/1 reports instead of text",
+    )
+    p_check.add_argument("--out", default=None, help="write the JSON payload to this file")
+    p_check.add_argument(
+        "--force", action="store_true", help="overwrite an existing --out file"
     )
     p_check.add_argument(
         "--graph-only",
@@ -826,6 +1051,72 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the solver; use the closed-form §III-B5 bound",
     )
     p_check.set_defaults(func=_cmd_check)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="static multi-DFE partition search (DP + branch-and-bound, no simulation)",
+    )
+    p_plan.add_argument(
+        "topology",
+        help="topology as name[:size[:width]] with name in vgg/alexnet/resnet18",
+    )
+    p_plan.add_argument(
+        "--objective",
+        choices=["min-dfes", "min-latency"],
+        default="min-dfes",
+        help=(
+            "min-dfes: fewest devices under budgets/SLO; "
+            "min-latency: best fill+steady latency at a fixed --dfes count"
+        ),
+    )
+    p_plan.add_argument(
+        "--dfes",
+        type=int,
+        default=None,
+        help="device count for --objective min-latency (required there)",
+    )
+    p_plan.add_argument(
+        "--slo-fps",
+        type=float,
+        default=None,
+        help="minimum predicted throughput; plans below it are rejected (V704)",
+    )
+    p_plan.add_argument(
+        "--fill-cap",
+        type=float,
+        default=0.8,
+        help="per-device resource budget as a fraction of the FPGA (default 0.8)",
+    )
+    p_plan.add_argument(
+        "--device", choices=["stratix5", "stratix10"], default="stratix5"
+    )
+    p_plan.add_argument(
+        "--check",
+        action="store_true",
+        help="re-verify the winner with the full strict checker (exit 1 on any finding)",
+    )
+    p_plan.add_argument(
+        "--simulate",
+        action="store_true",
+        help="leap-simulate the winner and assert the measured interval equals the prediction",
+    )
+    p_plan.add_argument(
+        "--neighbors",
+        action="store_true",
+        help="also simulate every ±1-cut neighbor and assert none beats the winner",
+    )
+    p_plan.add_argument(
+        "--audit", action="store_true", help="print the pruned-candidate audit trail"
+    )
+    p_plan.add_argument("--seed", type=int, default=0, help="--simulate image seed")
+    p_plan.add_argument(
+        "--json", action="store_true", help="print the repro-plan/1 JSON instead of text"
+    )
+    p_plan.add_argument("--out", default=None, help="write the JSON payload to this file")
+    p_plan.add_argument(
+        "--force", action="store_true", help="overwrite an existing --out file"
+    )
+    p_plan.set_defaults(func=_cmd_plan)
     return parser
 
 

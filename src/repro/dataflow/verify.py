@@ -63,6 +63,9 @@ from .links import MAXRING, LinkSpec
 from .window import depth_first_buffer_elements
 
 if TYPE_CHECKING:
+    from ..hardware.calibration import ResourceCalibration
+    from ..hardware.device import FPGASpec
+    from ..hardware.resources import ResourceEstimate
     from .manager import Pipeline
 
 __all__ = [
@@ -76,6 +79,7 @@ __all__ = [
     "estimated_replay_cost",
     "solve_skip_capacities",
     "check_skip_high_water",
+    "partition_feasibility",
     "verify_graph",
     "verify_pipeline",
     "verify",
@@ -117,6 +121,10 @@ DIAGNOSTIC_CODES: dict[str, str] = {
     "V502": "link bandwidth headroom",
     "V503": "skip stream crosses a chip boundary",
     "V601": "weight-cache BRAM geometry waste (≥25% when O ≤ 384)",
+    "V701": "per-DFE LUT budget exceeded",
+    "V702": "per-DFE flip-flop budget exceeded",
+    "V703": "per-DFE BRAM budget exceeded",
+    "V704": "predicted throughput below the requested SLO",
 }
 
 
@@ -194,6 +202,38 @@ class VerifyReport:
             raise RuntimeError(self.render(show_info=False))
         return self
 
+    def as_dict(self) -> dict[str, Any]:
+        """Machine-readable report (schema ``repro-check/1``).
+
+        Diagnostics are emitted in the report's stable sort order
+        (severity, code, where) so two runs over the same topology diff
+        cleanly; ``data`` payloads are sanitized to plain JSON types.
+        """
+        self.sort()
+        return {
+            "schema": "repro-check/1",
+            "subject": self.subject,
+            "ok": self.ok,
+            "skip_mode": self.skip_mode,
+            "counts": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+            },
+            "skip_capacities": {k: int(v) for k, v in sorted(self.skip_capacities.items())},
+            "diagnostics": [
+                {
+                    "code": d.code,
+                    "severity": d.severity,
+                    "where": d.where,
+                    "message": d.message,
+                    "paper": d.paper,
+                    "data": _json_safe(dict(d.data)),
+                }
+                for d in self.diagnostics
+            ],
+        }
+
 
 def _diag(
     code: str,
@@ -204,6 +244,21 @@ def _diag(
     **data: Any,
 ) -> Diagnostic:
     return Diagnostic(code, severity, where, message, paper, data)
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively coerce diagnostic payloads to plain JSON types."""
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
 
 
 # -- §III-B5: skip-buffer requirements -----------------------------------
@@ -872,6 +927,144 @@ def verify_pipeline(
         report.skip_capacities = dict(exact_skip)
     report.sort()
     return report
+
+
+# -- partition scoring (planner API) --------------------------------------
+
+
+def partition_feasibility(
+    graph: LayerGraph,
+    partition: list[list[str]],
+    *,
+    device: "FPGASpec | None" = None,
+    cal: "ResourceCalibration | None" = None,
+    fill_cap: float = 0.8,
+    link: LinkSpec = MAXRING,
+    fclk_mhz: float = 105.0,
+    slo_fps: float | None = None,
+    per_dfe: "list[ResourceEstimate] | None" = None,
+) -> list[Diagnostic]:
+    """Score a candidate partition statically — no pipeline build, no replay.
+
+    The reusable feasibility core behind the partition planner's search
+    loop: per-DFE LUT/FF/BRAM budgets at the fill cap (V701/V702/V703),
+    §III-B6 link bandwidth on every crossing (V501, with the worst-case
+    headroom as V502), skip streams crossing a chip boundary (V503), and an
+    optional throughput SLO against the analytic rate model (V704).  An
+    empty list means the candidate is feasible.  ``per_dfe`` lets the
+    planner hand in ledgers it already computed from cached node estimates.
+    """
+    from ..hardware.calibration import DEFAULT_RESOURCE_CAL
+    from ..hardware.device import STRATIX_V_5SGSD8
+    from ..hardware.partition import partition_crossings, partition_resources
+
+    dev = device if device is not None else STRATIX_V_5SGSD8
+    res_cal = cal if cal is not None else DEFAULT_RESOURCE_CAL
+    if per_dfe is None:
+        per_dfe = partition_resources(graph, partition, res_cal)
+
+    diags: list[Diagnostic] = []
+    budgets = (
+        ("V701", "LUT", dev.luts * fill_cap, lambda e: e.luts),
+        ("V702", "FF", dev.ffs * fill_cap, lambda e: e.ffs),
+        ("V703", "BRAM Kbit", dev.bram_kbits * fill_cap, lambda e: e.bram_kbits),
+    )
+    for idx, est in enumerate(per_dfe):
+        for code, label, budget, used_of in budgets:
+            used = used_of(est)
+            if used > budget:
+                diags.append(
+                    _diag(
+                        code,
+                        "error",
+                        f"dfe{idx}",
+                        f"{label} usage {used:,.0f} exceeds the {dev.name} budget "
+                        f"{budget:,.0f} (fill cap {fill_cap:.0%})",
+                        "§III-B6",
+                        dfe=idx,
+                        used=used,
+                        budget=budget,
+                        fill_cap=fill_cap,
+                    )
+                )
+
+    capacity_mbps = link.bandwidth_gbps * 1000.0
+    worst: tuple[float, str] | None = None
+    for u, v, mbps in partition_crossings(graph, partition, fclk_mhz):
+        util = mbps / capacity_mbps if capacity_mbps else float("inf")
+        edge = f"{u}->{v}"
+        if util > 1.0:
+            diags.append(
+                _diag(
+                    "V501",
+                    "error",
+                    edge,
+                    f"crossing needs {mbps:,.0f} Mbps but {link.name} provides "
+                    f"{capacity_mbps:,.0f} Mbps ({util:.1f}x overcommitted)",
+                    "§III-B6",
+                    required_mbps=mbps,
+                    capacity_mbps=capacity_mbps,
+                    utilization=util,
+                )
+            )
+        elif worst is None or util > worst[0]:
+            worst = (util, edge)
+    if worst is not None:
+        util, edge = worst
+        diags.append(
+            _diag(
+                "V502",
+                "info",
+                edge,
+                f"worst link utilization {util:.1%} ({1 / util:.0f}x headroom)"
+                if util > 0
+                else "links idle",
+                "§III-B6",
+                utilization=util,
+            )
+        )
+
+    dfe_of = {n: idx for idx, group in enumerate(partition) for n in group}
+    for name, node in graph.nodes.items():
+        if not isinstance(node, AddNode) or name not in dfe_of:
+            continue
+        for parent in graph.parents(name):
+            if parent in dfe_of and dfe_of[parent] != dfe_of[name]:
+                diags.append(
+                    _diag(
+                        "V503",
+                        "warning",
+                        name,
+                        f"skip operand from {parent!r} crosses a chip boundary; "
+                        "§III-B6 keeps residual blocks on one DFE",
+                        "§III-B6",
+                        parent=parent,
+                        parent_dfe=dfe_of[parent],
+                        add_dfe=dfe_of[name],
+                    )
+                )
+
+    if slo_fps is not None:
+        from ..hardware.timing import estimate_network_timing
+
+        timing = estimate_network_timing(
+            graph, fclk_mhz=fclk_mhz, partition=partition, link=link
+        )
+        if timing.throughput_fps < slo_fps:
+            diags.append(
+                _diag(
+                    "V704",
+                    "error",
+                    graph.name,
+                    f"predicted throughput {timing.throughput_fps:,.1f} fps misses the "
+                    f"{slo_fps:,.1f} fps SLO (bottleneck {timing.bottleneck.name!r})",
+                    "§IV-B4",
+                    throughput_fps=timing.throughput_fps,
+                    slo_fps=slo_fps,
+                    bottleneck=timing.bottleneck.name,
+                )
+            )
+    return diags
 
 
 def verify(

@@ -26,6 +26,7 @@ from .fleet import (
     min_replicas_for_slo,
     parse_mix,
     plan_fleet,
+    plan_fleet_dfes,
     profile_replica,
     simulate_fleet,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "min_replicas_for_slo",
     "parse_mix",
     "plan_fleet",
+    "plan_fleet_dfes",
     "profile_replica",
     "simulate_fleet",
 ]

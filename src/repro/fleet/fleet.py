@@ -50,6 +50,7 @@ __all__ = [
     "min_replicas_for_slo",
     "parse_mix",
     "plan_fleet",
+    "plan_fleet_dfes",
     "profile_replica",
     "simulate_fleet",
 ]
@@ -61,7 +62,7 @@ DEFAULT_FCLK_MHZ = 105.0
 PROFILE_IMAGES = 6
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReplicaSpec:
     """One replica's compiled pipeline configuration."""
 
@@ -151,7 +152,7 @@ def profile_replica(spec: ReplicaSpec, fclk_mhz: float = DEFAULT_FCLK_MHZ) -> tu
     return profile
 
 
-@dataclass
+@dataclass(slots=True)
 class FleetConfig:
     """Everything one fleet run depends on (and nothing it does not)."""
 
@@ -183,7 +184,7 @@ class FleetConfig:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class FleetPlan:
     """The routing decision record: who serves which request, and when.
 
@@ -268,6 +269,61 @@ def plan_fleet(config: FleetConfig) -> FleetPlan:
         ingress_utilization=ingress.utilization(),
         profiles=profiles,
     )
+
+
+def plan_fleet_dfes(
+    specs: list[ReplicaSpec],
+    *,
+    fill_cap: float = 0.8,
+    slo_fps: float | None = None,
+    fclk_mhz: float = DEFAULT_FCLK_MHZ,
+    node_dfes: int = 8,
+) -> dict[str, Any]:
+    """How many DFEs does this fleet mix occupy on an MPC-X node?
+
+    Runs the static partition planner (min-DFE objective) once per distinct
+    replica configuration and sums the device counts — answering the
+    capacity question *upstream* of any simulation: does the mix even fit
+    the paper's 8-DFE node?  Schema ``repro-fleet-dfes/1``.
+    """
+    from ..planner import plan_partition
+
+    plans: dict[str, Any] = {}
+    replicas: list[dict[str, Any]] = []
+    for spec in specs:
+        label = spec.label()
+        plan = plans.get(label)
+        if plan is None:
+            plan = plan_partition(
+                spec.graph(),
+                objective="min-dfes",
+                slo_fps=slo_fps,
+                fill_cap=fill_cap,
+                fclk_mhz=fclk_mhz,
+                predict=False,
+            )
+            plans[label] = plan
+        replicas.append(
+            {
+                "spec": spec.as_dict(),
+                "label": label,
+                "n_dfes": plan.n_dfes,
+                "cuts": list(plan.cuts),
+                "max_utilization": plan.max_utilization,
+            }
+        )
+    total = sum(rep["n_dfes"] for rep in replicas)
+    device_name = next(iter(plans.values())).device_name if plans else None
+    return {
+        "schema": "repro-fleet-dfes/1",
+        "device": device_name,
+        "fill_cap": fill_cap,
+        "slo_fps": slo_fps,
+        "node_dfes": node_dfes,
+        "replicas": replicas,
+        "total_dfes": total,
+        "fits_node": total <= node_dfes,
+    }
 
 
 def _split_requests(n_requests: int, n_replicas: int) -> list[int]:
@@ -384,7 +440,7 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-@dataclass
+@dataclass(slots=True)
 class FleetReport:
     """One fleet run's full result: per-replica detail plus the aggregate."""
 

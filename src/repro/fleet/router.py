@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 __all__ = ["POLICIES", "ReplicaState", "Router", "make_router"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicaState:
     """The host's virtual queue model of one replica.
 

@@ -18,7 +18,16 @@ from .device import (
     GPUSpec,
 )
 from .gpu import GPUModel, GPUTimingReport, gpu_launch_count, network_macs
-from .partition import PartitionResult, atomic_groups, partition_network
+from .partition import (
+    PartitionResult,
+    atomic_groups,
+    group_estimate,
+    infrastructure_estimate,
+    partition_crossings,
+    partition_network,
+    partition_resources,
+    per_kernel_overhead,
+)
 from .power import FPGAPowerModel, PowerReport
 from .report import DesignReport, build_design_report
 from .resources import (
@@ -54,6 +63,11 @@ __all__ = [
     "PartitionResult",
     "atomic_groups",
     "partition_network",
+    "group_estimate",
+    "infrastructure_estimate",
+    "partition_crossings",
+    "partition_resources",
+    "per_kernel_overhead",
     "DesignReport",
     "build_design_report",
     "FPGAPowerModel",

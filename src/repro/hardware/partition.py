@@ -22,7 +22,16 @@ from .calibration import DEFAULT_RESOURCE_CAL, ResourceCalibration
 from .device import FPGASpec, STRATIX_V_5SGSD8
 from .resources import M20K_KBITS, NetworkResources, ResourceEstimate, estimate_node
 
-__all__ = ["PartitionResult", "partition_network", "atomic_groups"]
+__all__ = [
+    "PartitionResult",
+    "partition_network",
+    "atomic_groups",
+    "infrastructure_estimate",
+    "per_kernel_overhead",
+    "group_estimate",
+    "partition_resources",
+    "partition_crossings",
+]
 
 
 @dataclass
@@ -86,6 +95,79 @@ def atomic_groups(graph: LayerGraph) -> list[list[str]]:
     return groups
 
 
+def infrastructure_estimate(cal: ResourceCalibration = DEFAULT_RESOURCE_CAL) -> ResourceEstimate:
+    """Per-DFE Maxeler infrastructure (PCIe/MaxRing/manager fabric)."""
+    return ResourceEstimate(
+        luts=cal.lut_infrastructure,
+        ffs=cal.ff_infrastructure,
+        bram_blocks=int(round(cal.bram_kbits_infrastructure / M20K_KBITS)),
+    )
+
+
+def per_kernel_overhead(cal: ResourceCalibration = DEFAULT_RESOURCE_CAL) -> ResourceEstimate:
+    """Per-kernel manager overhead (stream FIFOs, control)."""
+    return ResourceEstimate(bram_blocks=int(round(cal.bram_kbits_per_kernel / M20K_KBITS)))
+
+
+def group_estimate(
+    graph: LayerGraph,
+    group: list[str],
+    cal: ResourceCalibration = DEFAULT_RESOURCE_CAL,
+    node_estimates: dict[str, ResourceEstimate] | None = None,
+) -> ResourceEstimate:
+    """Resources of one contiguous node group, excluding DFE infrastructure.
+
+    ``node_estimates`` lets callers that score many candidate partitions
+    (the planner's DP) amortize the per-node estimation over the search.
+    """
+    overhead = per_kernel_overhead(cal)
+    est = ResourceEstimate()
+    for name in group:
+        node_est = (
+            node_estimates[name]
+            if node_estimates is not None
+            else estimate_node(graph, name, cal).estimate
+        )
+        est = est + node_est + overhead
+    return est
+
+
+def partition_resources(
+    graph: LayerGraph,
+    partition: list[list[str]],
+    cal: ResourceCalibration = DEFAULT_RESOURCE_CAL,
+    node_estimates: dict[str, ResourceEstimate] | None = None,
+) -> list[ResourceEstimate]:
+    """Per-DFE resource ledger (infrastructure + kernels) for a partition."""
+    infra = infrastructure_estimate(cal)
+    return [
+        infra + group_estimate(graph, group, cal, node_estimates) for group in partition
+    ]
+
+
+def partition_crossings(
+    graph: LayerGraph,
+    partition: list[list[str]],
+    fclk_mhz: float = 105.0,
+) -> list[tuple[str, str, float]]:
+    """Inter-DFE edges of a partition with their §III-B6 bandwidth needs.
+
+    Nodes absent from every group (the input) are attributed to DFE 0.
+    """
+    dfe_of: dict[str, int] = {}
+    for idx, g in enumerate(partition):
+        for n in g:
+            dfe_of[n] = idx
+    if graph.input_name is not None:
+        dfe_of.setdefault(graph.input_name, 0)
+    crossings: list[tuple[str, str, float]] = []
+    for u, v in graph.graph.edges:
+        if dfe_of.get(u, 0) != dfe_of.get(v, 0):
+            bits = graph.specs[u].stream_bits
+            crossings.append((u, v, required_bandwidth_mbps(bits, fclk_mhz)))
+    return crossings
+
+
 def partition_network(
     graph: LayerGraph,
     device: FPGASpec = STRATIX_V_5SGSD8,
@@ -98,11 +180,7 @@ def partition_network(
     Raises if a single atomic group exceeds one device (the design cannot
     be built at all, regardless of DFE count).
     """
-    infra = ResourceEstimate(
-        luts=cal.lut_infrastructure,
-        ffs=cal.ff_infrastructure,
-        bram_blocks=int(round(cal.bram_kbits_infrastructure / M20K_KBITS)),
-    )
+    infra = infrastructure_estimate(cal)
     caps = {
         "lut": device.luts * fill_cap,
         "ff": device.ffs * fill_cap,
@@ -114,18 +192,12 @@ def partition_network(
             est.luts <= caps["lut"] and est.ffs <= caps["ff"] and est.bram_kbits <= caps["bram"]
         )
 
-    per_kernel_bram = ResourceEstimate(
-        bram_blocks=int(round(cal.bram_kbits_per_kernel / M20K_KBITS))
-    )
-
     groups_out: list[list[str]] = [[]]
     per_dfe: list[ResourceEstimate] = [infra]
     node_estimates = {name: estimate_node(graph, name, cal).estimate for name in graph.order}
 
     for group in atomic_groups(graph):
-        group_est = ResourceEstimate()
-        for n in group:
-            group_est = group_est + node_estimates[n] + per_kernel_bram
+        group_est = group_estimate(graph, group, cal, node_estimates)
         if not fits(infra + group_est):
             raise ValueError(
                 f"atomic group {group[0]}..{group[-1]} exceeds a single "
@@ -139,23 +211,10 @@ def partition_network(
             groups_out.append(list(group))
             per_dfe.append(infra + group_est)
 
-    # Record the crossings and their bandwidth needs.
-    dfe_of: dict[str, int] = {}
-    for idx, g in enumerate(groups_out):
-        for n in g:
-            dfe_of[n] = idx
-    dfe_of[graph.input_name] = 0
-    crossings: list[tuple[str, str, float]] = []
-    for u, v in graph.graph.edges:
-        du, dv = dfe_of.get(u, 0), dfe_of.get(v, 0)
-        if du != dv:
-            bits = graph.specs[u].stream_bits
-            crossings.append((u, v, required_bandwidth_mbps(bits, fclk_mhz)))
-
     return PartitionResult(
         groups=groups_out,
         per_dfe=per_dfe,
-        crossings=crossings,
+        crossings=partition_crossings(graph, groups_out, fclk_mhz),
         device=device,
         fill_cap=fill_cap,
     )

@@ -22,6 +22,7 @@ translate it to LUT/FF/BRAM with the calibrated constants:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -70,11 +71,10 @@ def m20k_blocks(width_bits: int, depth: int) -> int:
     """
     if width_bits <= 0 or depth <= 0:
         return 0
-    best = None
-    for cfg_depth, cfg_width in M20K_CONFIGS:
-        blocks = -(-width_bits // cfg_width) * -(-depth // cfg_depth)
-        best = blocks if best is None else min(best, blocks)
-    return int(best)
+    return min(
+        -(-width_bits // cfg_width) * -(-depth // cfg_depth)
+        for cfg_depth, cfg_width in M20K_CONFIGS
+    )
 
 
 @dataclass(frozen=True)
@@ -111,7 +111,7 @@ class NodeResources:
     name: str
     kind: str
     estimate: ResourceEstimate
-    detail: dict = field(default_factory=dict)
+    detail: dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass

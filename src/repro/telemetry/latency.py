@@ -46,6 +46,7 @@ __all__ = [
     "image_records",
     "latency_report",
     "reconcile",
+    "segment_summaries",
     "summarize",
     "tail_attribution",
 ]
@@ -354,6 +355,22 @@ def _segments(pipeline: "Pipeline", records: list[ImageRecord]) -> list[tuple[st
         )
     )
     return segments
+
+
+def segment_summaries(
+    pipeline: "Pipeline",
+    records: list[ImageRecord] | None = None,
+) -> list[tuple[str, LatencySummary]]:
+    """Per-partition segment latencies of a finished run (public API).
+
+    The same decomposition :func:`latency_report` embeds — admission to
+    each inter-DFE crossing's first-pixel-out mark, then to completion —
+    exposed on its own so the partition planner can attach measured
+    per-device segments to a plan without building a full report.
+    """
+    if records is None:
+        records = image_records(pipeline)
+    return _segments(pipeline, records)
 
 
 def latency_report(

@@ -198,3 +198,121 @@ class Record:
 
     def test_syntax_error_reported_not_raised(self, tmp_path):
         assert _codes("def broken(:\n", tmp_path) == ["KC000"]
+
+
+class TestStateMutationScope:
+    def test_mutation_from_accessor_flagged(self, tmp_path):
+        src = """
+class BadKernel(Kernel):
+    def tick(self, cycle):
+        return None
+
+    def render(self):
+        self.stats.emitted += 1
+        return "x"
+"""
+        assert _codes(src, tmp_path) == ["KC005"]
+
+    def test_mutation_via_tick_helper_allowed(self, tmp_path):
+        src = """
+class GoodKernel(Kernel):
+    def tick(self, cycle):
+        self._account(cycle)
+        return None
+
+    def _account(self, cycle):
+        self._bump()
+
+    def _bump(self):
+        self.stats.ticks += 1
+"""
+        assert _codes(src, tmp_path) == []
+
+    def test_batch_compute_is_a_root(self, tmp_path):
+        src = """
+class GoodKernel(Kernel):
+    def batch_compute(self, images):
+        self.stats.images += 1
+"""
+        assert _codes(src, tmp_path) == []
+
+    def test_same_file_slots_dataclass_attr_tracked(self, tmp_path):
+        src = """
+from dataclasses import dataclass
+
+@dataclass(slots=True)
+class Window:
+    rows: int = 0
+
+class BadKernel(Kernel):
+    def __init__(self):
+        self.window = Window()
+
+    def tick(self, cycle):
+        return None
+
+    def describe(self):
+        self.window.rows = 3
+"""
+        assert _codes(src, tmp_path) == ["KC005"]
+
+    def test_constructors_and_reset_exempt(self, tmp_path):
+        src = """
+class GoodKernel(Kernel):
+    def __init__(self):
+        self.stats.ticks = 0
+
+    def reset(self):
+        self.stats.ticks = 0
+
+    def tick(self, cycle):
+        return None
+"""
+        assert _codes(src, tmp_path) == []
+
+    def test_subscript_mutation_below_state_flagged(self, tmp_path):
+        src = """
+class BadKernel(Kernel):
+    def tick(self, cycle):
+        return None
+
+    def snapshot(self):
+        self.stats.counts[0] = 1
+"""
+        assert _codes(src, tmp_path) == ["KC005"]
+
+    def test_kernel_without_local_roots_skipped(self, tmp_path):
+        # tick() lives on the base class; mutation scope is its contract.
+        src = """
+class Mixin(Kernel):
+    def helper(self):
+        self.stats.ticks += 1
+"""
+        assert _codes(src, tmp_path) == []
+
+    def test_non_state_attributes_ignored(self, tmp_path):
+        src = """
+class GoodKernel(Kernel):
+    def tick(self, cycle):
+        return None
+
+    def configure(self):
+        self.capacity.limit = 5
+"""
+        assert _codes(src, tmp_path) == []
+
+
+class TestSelectFlag:
+    def test_select_filters_codes(self, tmp_path, capsys):
+        src = """
+class BadKernel(Kernel):
+    def tick(self, cycle):
+        x = 0.5
+        return 7
+"""
+        path = tmp_path / "probe.py"
+        path.write_text(src)
+        assert lint_kernels.main([str(path), "--select", "KC003"]) == 1
+        out = capsys.readouterr().out
+        assert "KC003" in out and "KC001" not in out
+        assert lint_kernels.main([str(path), "--select", "KC005"]) == 0

@@ -1,0 +1,126 @@
+"""Golden-value and property tests for the resource model (hardware/resources).
+
+The partition planner prunes candidates on these estimates, so two things
+must hold beyond the paper-calibration points already covered in
+``test_hardware.py``:
+
+* **Goldens** — the three test-scale family graphs produce exactly the
+  totals pinned here.  A calibration-constant or formula change that moves
+  any of them shows up as a diff against a number a human signed off on
+  (and silently reshapes every plan the search returns).
+* **Monotonicity** — estimates never decrease when a layer gets wider
+  (more channels) or deeper (more activation bits).  The DP's early-exit
+  ("first overflowing cut kills all longer segments") and the
+  branch-and-bound lower bound are only admissible if cost is monotone in
+  what a segment contains.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import DEFAULT_RESOURCE_CAL, estimate_network, estimate_node, m20k_blocks
+from repro.models import direct_alexnet_graph, direct_resnet18_graph, direct_vgg_graph
+
+# Pinned against the current calibration (see module docstring).  Totals
+# include one DFE of Maxeler infrastructure.
+GOLDEN_TOTALS = {
+    "vgg": (35383.7, 51185.7, 290),
+    "alexnet": (81055.7, 156224.8, 436),
+    "resnet18": (35738.7, 52150.5, 266),
+}
+
+
+def _family_graph(family):
+    if family == "vgg":
+        return direct_vgg_graph(16, width=0.0625, classes=4)
+    if family == "alexnet":
+        return direct_alexnet_graph(64, width=0.25, classes=4)
+    return direct_resnet18_graph(16, width=0.25, classes=4, stages=[(64, 1, 1)])
+
+
+class TestGoldenTotals:
+    @pytest.mark.parametrize("family", sorted(GOLDEN_TOTALS))
+    def test_family_totals_are_pinned(self, family):
+        luts, ffs, bram_blocks = GOLDEN_TOTALS[family]
+        total = estimate_network(_family_graph(family)).total
+        assert total.luts == pytest.approx(luts, abs=0.05)
+        assert total.ffs == pytest.approx(ffs, abs=0.05)
+        assert total.bram_blocks == bram_blocks
+
+    def test_totals_sum_nodes_plus_infrastructure(self):
+        graph = _family_graph("vgg")
+        net = estimate_network(graph)
+        luts = net.infrastructure.luts + sum(nr.estimate.luts for nr in net.per_node)
+        assert net.total.luts == pytest.approx(luts)
+
+    def test_infrastructure_scales_with_dfes(self):
+        graph = _family_graph("vgg")
+        one = estimate_network(graph, n_dfes=1)
+        two = estimate_network(graph, n_dfes=2)
+        assert (
+            two.infrastructure.luts - one.infrastructure.luts
+            == DEFAULT_RESOURCE_CAL.lut_infrastructure
+        )
+
+
+WIDTHS = [0.0625, 0.125, 0.25, 0.5]
+BITS = [1, 2, 3, 4]
+
+
+def _total(width, bits):
+    graph = direct_vgg_graph(16, width=width, classes=4, act_bits=bits, input_bits=bits)
+    return estimate_network(graph).total
+
+
+class TestMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        lo=st.sampled_from(range(len(WIDTHS))),
+        hi=st.sampled_from(range(len(WIDTHS))),
+        bits=st.sampled_from(BITS),
+    )
+    def test_monotone_in_channel_count(self, lo, hi, bits):
+        if lo > hi:
+            lo, hi = hi, lo
+        narrow, wide = _total(WIDTHS[lo], bits), _total(WIDTHS[hi], bits)
+        assert narrow.luts <= wide.luts
+        assert narrow.ffs <= wide.ffs
+        assert narrow.bram_blocks <= wide.bram_blocks
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        width=st.sampled_from(WIDTHS),
+        lo=st.sampled_from(range(len(BITS))),
+        hi=st.sampled_from(range(len(BITS))),
+    )
+    def test_monotone_in_bitwidth(self, width, lo, hi):
+        if lo > hi:
+            lo, hi = hi, lo
+        shallow, deep = _total(width, BITS[lo]), _total(width, BITS[hi])
+        assert shallow.luts <= deep.luts
+        assert shallow.ffs <= deep.ffs
+        assert shallow.bram_blocks <= deep.bram_blocks
+
+    def test_per_node_monotone_in_width(self):
+        # The planner's prefix sums are per node: every conv's own estimate
+        # must grow with the width multiplier, not just the network total.
+        narrow = direct_vgg_graph(16, width=0.0625, classes=4)
+        wide = direct_vgg_graph(16, width=0.25, classes=4)
+        for name in narrow.order:
+            if name not in wide.nodes:
+                continue
+            a = estimate_node(narrow, name).estimate
+            b = estimate_node(wide, name).estimate
+            assert a.luts <= b.luts, name
+            assert a.bram_blocks <= b.bram_blocks, name
+
+
+class TestM20kGeometryEdgeCases:
+    def test_min_depth_tiling_picks_cheapest_config(self):
+        # 40 bits x 512 deep: one 40x512 M20K beats two 20x1024 halves.
+        assert m20k_blocks(40, 512) == 1
+
+    def test_monotone_in_depth_and_width(self):
+        assert m20k_blocks(40, 513) >= m20k_blocks(40, 512)
+        assert m20k_blocks(41, 512) >= m20k_blocks(40, 512)

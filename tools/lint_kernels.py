@@ -24,10 +24,16 @@ KC003  No float arithmetic inside ``tick`` bodies (the quantized hot
 KC004  ``@dataclass`` declarations in hot-path modules must pass
        ``slots=True`` — per-cycle attribute access on stats/trace records
        is measurably faster and catches typo'd fields.
+KC005  A kernel's slots-dataclass state (its ``stats`` record, or any
+       attribute holding a same-file slots dataclass) may only be mutated
+       from ``tick()`` / ``batch_compute()`` or helpers (transitively)
+       called from them.  Mutation from anywhere else — a property, a
+       reporting accessor, ``render()`` — means *observing* a kernel
+       changes its counters, desynchronizing fast and exhaustive runs.
 
-Usage: ``python tools/lint_kernels.py [paths...]`` (default: the kernel and
-hot-path dataflow modules).  Exits 1 when any violation is found.  Wired
-into CI next to ruff.
+Usage: ``python tools/lint_kernels.py [--select KC001,KC005] [paths...]``
+(default paths: the kernel and hot-path dataflow/fleet/planner modules).
+Exits 1 when any violation is found.  Wired into CI next to ruff.
 """
 
 from __future__ import annotations
@@ -44,6 +50,8 @@ DEFAULT_PATHS = [
     "src/repro/dataflow/stream.py",
     "src/repro/dataflow/kernel.py",
     "src/repro/dataflow/trace.py",
+    "src/repro/fleet",
+    "src/repro/planner",
 ]
 
 # Base-class names that mark a class as a streaming kernel.
@@ -64,6 +72,14 @@ FIFO_MUTATORS = {
 }
 
 ALLOWED_TICK_HELPERS = {"_starved", "_blocked", "_idle"}
+
+# KC005: entry points from which state mutation is legitimate, and attribute
+# names known (by convention) to hold slots-dataclass state even when the
+# dataclass is defined in another module.
+KC005_ROOTS = {"tick", "batch_compute"}
+KNOWN_SLOTS_STATE = {"stats"}
+# Constructors may initialize state fields before the engine ever runs.
+KC005_EXEMPT = {"__init__", "__post_init__", "reset"}
 
 
 class Violation:
@@ -294,6 +310,15 @@ def _dataclass_decorator(cls: ast.ClassDef) -> ast.expr | None:
     return None
 
 
+def _has_slots_kwarg(dec: ast.expr) -> bool:
+    return isinstance(dec, ast.Call) and any(
+        kw.arg == "slots"
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is True
+        for kw in dec.keywords
+    )
+
+
 def _check_slots_dataclasses(path: Path, tree: ast.Module, out: list[Violation]) -> None:
     for node in ast.walk(tree):
         if not isinstance(node, ast.ClassDef):
@@ -301,13 +326,7 @@ def _check_slots_dataclasses(path: Path, tree: ast.Module, out: list[Violation])
         dec = _dataclass_decorator(node)
         if dec is None:
             continue
-        has_slots = isinstance(dec, ast.Call) and any(
-            kw.arg == "slots"
-            and isinstance(kw.value, ast.Constant)
-            and kw.value.value is True
-            for kw in dec.keywords
-        )
-        if not has_slots:
+        if not _has_slots_kwarg(dec):
             out.append(
                 Violation(
                     path,
@@ -318,16 +337,116 @@ def _check_slots_dataclasses(path: Path, tree: ast.Module, out: list[Violation])
             )
 
 
+def _slots_dataclass_names(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            dec = _dataclass_decorator(node)
+            if dec is not None and _has_slots_kwarg(dec):
+                names.add(node.name)
+    return names
+
+
+def _check_state_mutation_scope(
+    path: Path, cls: ast.ClassDef, slots_classes: set[str], out: list[Violation]
+) -> None:
+    """KC005: slots-dataclass state mutates only under tick/batch_compute."""
+    methods = {
+        item.name: item for item in cls.body if isinstance(item, ast.FunctionDef)
+    }
+    roots = KC005_ROOTS & methods.keys()
+    if not roots:
+        # No local entry point — mutation scope belongs to the base class
+        # that defines tick(); nothing to anchor the reachability walk to.
+        return
+
+    # Which self attributes hold slots-dataclass state: the conventional
+    # names, plus anything assigned a same-file slots-dataclass instance.
+    state_attrs = set(KNOWN_SLOTS_STATE)
+    for item in methods.values():
+        for node in ast.walk(item):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and isinstance(node.value, ast.Call)
+            ):
+                continue
+            func = node.value.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+            if name in slots_classes:
+                state_attrs.add(target.attr)
+
+    # Methods transitively reachable from the entry points via self.X() calls.
+    reachable = set(roots)
+    changed = True
+    while changed:
+        changed = False
+        for name in list(reachable):
+            for node in ast.walk(methods[name]):
+                if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                    continue
+                func = node.func
+                if (
+                    isinstance(func.value, ast.Name)
+                    and func.value.id == "self"
+                    and func.attr in methods
+                    and func.attr not in reachable
+                ):
+                    reachable.add(func.attr)
+                    changed = True
+
+    for name, item in methods.items():
+        if name in reachable or name in KC005_EXEMPT:
+            continue
+        for node in ast.walk(item):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                # Flag self.<state>.<field> = ... (any depth below the state
+                # attribute), where <state> is a slots-dataclass record.
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                inner = target
+                while isinstance(inner.value, (ast.Attribute, ast.Subscript)):  # type: ignore[union-attr]
+                    inner = inner.value  # type: ignore[assignment]
+                if (
+                    isinstance(inner, ast.Attribute)
+                    and isinstance(inner.value, ast.Name)
+                    and inner.value.id == "self"
+                    and inner.attr in state_attrs
+                    and inner is not target
+                ):
+                    out.append(
+                        Violation(
+                            path,
+                            node.lineno,
+                            "KC005",
+                            f"{cls.name}.{name} mutates slots state "
+                            f"self.{inner.attr} outside the tick/batch_compute "
+                            "call graph",
+                        )
+                    )
+
+
 def lint_file(path: Path) -> list[Violation]:
     try:
         tree = ast.parse(path.read_text(), filename=str(path))
     except SyntaxError as exc:
         return [Violation(path, exc.lineno or 0, "KC000", f"syntax error: {exc.msg}")]
     out: list[Violation] = []
+    slots_classes = _slots_dataclass_names(tree)
     for cls in _kernel_classes(tree):
         _check_tick_returns(path, cls, out)
         _check_stream_mutation(path, cls, out)
         _check_float_free_tick(path, cls, out)
+        _check_state_mutation_scope(path, cls, slots_classes, out)
     _check_slots_dataclasses(path, tree, out)
     out.sort(key=lambda v: (str(v.path), v.line, v.code))
     return out
@@ -357,8 +476,17 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_PATHS,
         help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
     )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated violation codes to report (e.g. KC001,KC005); default: all",
+    )
     args = parser.parse_args(argv)
     violations = lint_paths(list(args.paths))
+    if args.select:
+        wanted = {code.strip().upper() for code in args.select.split(",") if code.strip()}
+        violations = [v for v in violations if v.code in wanted]
     for violation in violations:
         print(violation.render())
     if violations:
