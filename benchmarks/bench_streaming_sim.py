@@ -24,6 +24,7 @@ import pytest
 
 from benchmarks.perf_trajectory import BENCH_PATH, record
 from repro.dataflow import Tracer, simulate
+from repro.perfwatch import PerfDataError, check_rate, latest_rate, load_trajectory, rate_floor
 from repro.models import (
     build_vgg_like,
     direct_alexnet_graph,
@@ -52,33 +53,27 @@ def _latest_recorded_rate(case):
     if not BENCH_PATH.exists():
         return None
     try:
-        entries = json.loads(BENCH_PATH.read_text())
-    except (json.JSONDecodeError, OSError):
+        entries = load_trajectory(BENCH_PATH)
+    except PerfDataError:
         return None
-    for entry in reversed(entries):
-        rate = entry.get("cases", {}).get(case, {}).get("simulated_cycles_per_second")
-        if rate:
-            return float(rate)
-    return None
+    return latest_rate(entries, case)
 
 
 def _guard_regression(case, cycles_per_second):
     """Assert ``case`` did not regress against its recorded trajectory.
 
     The tracing hooks must cost (almost) nothing when tracing is off — the
-    untraced hot path only pays a None check.  With ``REPRO_BENCH_STRICT=1``
-    (quiet dedicated machine) the bound is the issue's 5%; by default a
-    loose 40% sanity bound keeps the guard meaningful on noisy shared CI
-    runners without flaking.
+    untraced hot path only pays a None check.  The floor comes from the
+    shared :mod:`repro.perfwatch.policy`: with ``REPRO_BENCH_STRICT=1``
+    (quiet dedicated machine) the bound is 5%; by default a loose 40%
+    sanity bound keeps the guard meaningful on noisy shared CI runners
+    without flaking.
     """
     baseline = _latest_recorded_rate(case)
     if baseline is None:
         return
-    floor = 0.95 if os.environ.get("REPRO_BENCH_STRICT") else 0.60
-    assert cycles_per_second >= baseline * floor, (
-        f"{case}: {cycles_per_second:,.0f} simulated cycles/s is below "
-        f"{floor:.0%} of the recorded {baseline:,.0f} — untraced path regressed"
-    )
+    violation = check_rate(case, cycles_per_second, baseline)
+    assert violation is None, f"{violation} — untraced path regressed"
 
 
 def _tiny_chain_case():
@@ -123,7 +118,7 @@ def test_streaming_chain_simulation_telemetry(benchmark):
     assert sr.cycles > 0
     baseline = _session_rates.get("tiny_chain")
     if baseline:
-        floor = 0.95 if os.environ.get("REPRO_BENCH_STRICT") else 0.60
+        floor = rate_floor()
         assert rate >= baseline * floor, (
             f"telemetry overhead too high: {rate:,.0f} vs {baseline:,.0f} "
             f"hook-free simulated cycles/s (floor {floor:.0%})"
@@ -156,7 +151,7 @@ def test_streaming_chain_loadgen(benchmark):
     record("tiny_chain_loadgen", result.cycles, seconds, p99_service_cycles=p99)
     baseline = _session_rates.get("tiny_chain")
     if baseline:
-        floor = 0.95 if os.environ.get("REPRO_BENCH_STRICT") else 0.60
+        floor = rate_floor()
         assert rate >= baseline * floor, (
             f"loadgen overhead too high: {rate:,.0f} vs {baseline:,.0f} "
             f"closed-loop simulated cycles/s (floor {floor:.0%})"

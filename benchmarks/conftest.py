@@ -11,6 +11,18 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_configure(config):
+    """Register the perfwatch plugin for PYTHONPATH=src runs.
+
+    Installed checkouts get it through the ``pytest11`` entry point; this
+    path covers uninstalled trees.  Registration is idempotent, so running
+    tests/ and benchmarks/ in one session is fine.
+    """
+    from repro.perfwatch import plugin as perfwatch_plugin
+
+    perfwatch_plugin.pytest_configure(config)
+
+
 def report(benchmark, result) -> None:
     """Attach a rendered table to the benchmark and print it."""
     text = result.render()

@@ -18,13 +18,16 @@ import time
 from pathlib import Path
 from typing import Any
 
+from repro.perfwatch.baseline import validate_entry
+from repro.perfwatch.records import PerfDataError
 from repro.telemetry.manifest import host_manifest
 
-__all__ = ["BENCH_PATH", "record", "flush"]
+__all__ = ["BENCH_PATH", "record", "flush", "peek"]
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
 
 _cases: dict[str, dict[str, Any]] = {}
+_last_flushed: dict[str, dict[str, Any]] = {}
 
 
 def record(case: str, simulated_cycles: int, seconds: float, **extra: Any) -> None:
@@ -37,8 +40,25 @@ def record(case: str, simulated_cycles: int, seconds: float, **extra: Any) -> No
     }
 
 
+def peek() -> dict[str, dict[str, Any]]:
+    """The session's cases: pending ones, or the last flushed snapshot.
+
+    The perfwatch plugin folds these into its ``repro-perf/1`` report at
+    session finish; the fallback keeps the answer correct whichever of the
+    two ``pytest_sessionfinish`` hooks (this module's flush via the bench
+    conftest, or the plugin's writer) happens to run first.
+    """
+    return dict(_cases) or dict(_last_flushed)
+
+
 def flush() -> None:
-    """Append the session's cases to ``BENCH_streaming.json`` (if any ran)."""
+    """Append the session's cases to ``BENCH_streaming.json`` (if any ran).
+
+    The entry is validated against the perfwatch known-case registry and
+    schema before it is written — a malformed append (unknown case key,
+    missing rate) fails the session loudly instead of poisoning the
+    trajectory for every later diff.
+    """
     if not _cases:
         return
     entries: list[dict[str, Any]] = []
@@ -47,12 +67,18 @@ def flush() -> None:
             entries = json.loads(BENCH_PATH.read_text())
         except (json.JSONDecodeError, OSError):
             entries = []
-    entries.append(
-        {
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-            **host_manifest(),
-            "cases": dict(sorted(_cases.items())),
-        }
-    )
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **host_manifest(),
+        "cases": dict(sorted(_cases.items())),
+    }
+    problems = validate_entry(entry, len(entries))
+    if problems:
+        raise PerfDataError(
+            "refusing to append a malformed trajectory entry: " + "; ".join(problems)
+        )
+    entries.append(entry)
     BENCH_PATH.write_text(json.dumps(entries, indent=2) + "\n")
+    _last_flushed.clear()
+    _last_flushed.update(_cases)
     _cases.clear()

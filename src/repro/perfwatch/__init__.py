@@ -1,0 +1,73 @@
+"""Continuous perf/resource regression harness.
+
+Four pieces, one policy:
+
+* :mod:`~repro.perfwatch.policy` — the shared strict/loose threshold
+  (5% strict on quiet machines, 40% loose on shared CI runners) every
+  perf guard in the repo draws from;
+* :mod:`~repro.perfwatch.plugin` — a zero-modification pytest plugin
+  metering wall time, CPU time, and peak RSS for every test and bench
+  case, emitting typed ``repro-perf/1`` reports;
+* :mod:`~repro.perfwatch.baseline` — the known-case registry, trajectory
+  integrity validation, and the diff engine that gates CI (newest vs
+  previous recording per case, worst offender named);
+* :mod:`~repro.perfwatch.render` — the trajectory report (ANSI sparkline
+  table, markdown, HTML, JSON) behind ``repro perf report``.
+
+See DESIGN.md §4.9 for the architecture.
+"""
+
+from .baseline import (
+    KNOWN_CASES,
+    CaseDelta,
+    DiffResult,
+    case_series,
+    default_trajectory_path,
+    diff_reports,
+    diff_trajectory,
+    latest_rate,
+    load_trajectory,
+    validate_entry,
+    validate_trajectory,
+)
+from .policy import (
+    LOOSE_FLOOR,
+    STRICT_FLOOR,
+    Violation,
+    check_cost,
+    check_rate,
+    rate_floor,
+    strict_mode,
+)
+from .records import REPORT_SCHEMA, PerfDataError, PerfRecord, PerfReport
+from .render import render_html, render_markdown, render_table, sparkline, trajectory_payload
+
+__all__ = [
+    "KNOWN_CASES",
+    "CaseDelta",
+    "DiffResult",
+    "case_series",
+    "default_trajectory_path",
+    "diff_reports",
+    "diff_trajectory",
+    "latest_rate",
+    "load_trajectory",
+    "validate_entry",
+    "validate_trajectory",
+    "LOOSE_FLOOR",
+    "STRICT_FLOOR",
+    "Violation",
+    "check_cost",
+    "check_rate",
+    "rate_floor",
+    "strict_mode",
+    "REPORT_SCHEMA",
+    "PerfDataError",
+    "PerfRecord",
+    "PerfReport",
+    "render_html",
+    "render_markdown",
+    "render_table",
+    "sparkline",
+    "trajectory_payload",
+]

@@ -1,0 +1,397 @@
+"""Baseline engine: load, validate, and diff perf trajectories and reports.
+
+Two baseline sources, one policy:
+
+* the append-only ``BENCH_streaming.json`` trajectory (one entry per
+  benchmark session, per-case ``simulated_cycles_per_second``), diffed
+  per case as newest-recording vs its previous (or best) recording; and
+* stored ``repro-perf/1`` reports from the pytest plugin, diffed per test
+  on wall seconds and peak RSS.
+
+Both feed :mod:`repro.perfwatch.policy` for the strict/loose floors and
+produce a :class:`DiffResult` whose worst offender is named when the gate
+fails — the ``repro perf diff`` CLI exits non-zero on it.
+
+The module also owns the known-case registry: every case key a trajectory
+entry may carry.  ``benchmarks/perf_trajectory.py`` validates each entry
+against it before appending, and the integrity test in
+``tests/test_perfwatch.py`` re-validates the committed file in CI so a
+malformed append fails fast.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..telemetry.manifest import manifest_delta
+from .policy import Violation, check_cost, check_rate, rate_floor, strict_mode
+from .records import PerfDataError, PerfReport
+
+__all__ = [
+    "KNOWN_CASES",
+    "REQUIRED_ENTRY_KEYS",
+    "default_trajectory_path",
+    "load_trajectory",
+    "validate_entry",
+    "validate_trajectory",
+    "case_series",
+    "latest_rate",
+    "CaseDelta",
+    "DiffResult",
+    "diff_trajectory",
+    "diff_reports",
+]
+
+# Every case key a BENCH_streaming.json entry may carry.  Adding a bench
+# case means adding it here — the trajectory flush and the CI integrity
+# test both refuse unknown keys, so a typo'd case name cannot silently
+# fork its own unguarded trajectory.
+KNOWN_CASES = frozenset(
+    {
+        "tiny_chain",
+        "tiny_chain_telemetry",
+        "tiny_chain_loadgen",
+        "tiny_chain_traced",
+        "tiny_chain_plan",
+        "tiny_resnet",
+        "vgg32_dense",
+        "vgg32_bitops",
+        "vgg32_leap",
+        "alexnet224_leap",
+        "resnet18_224_leap",
+        "fleet_4x_vgg16",
+    }
+)
+
+REQUIRED_ENTRY_KEYS = ("timestamp", "revision", "python", "numpy")
+
+_TIMESTAMP_FORMAT = "%Y-%m-%dT%H:%M:%SZ"
+
+
+def default_trajectory_path() -> Path:
+    """Resolve ``BENCH_streaming.json``: env override, cwd, then repo root."""
+    env = os.environ.get("REPRO_BENCH_PATH")
+    if env:
+        return Path(env)
+    cwd = Path.cwd() / "BENCH_streaming.json"
+    if cwd.exists():
+        return cwd
+    return Path(__file__).resolve().parents[3] / "BENCH_streaming.json"
+
+
+def load_trajectory(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a trajectory file; :class:`PerfDataError` on anything malformed."""
+    try:
+        entries = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PerfDataError(f"cannot read trajectory {path}: {exc}") from exc
+    if not isinstance(entries, list):
+        raise PerfDataError(f"trajectory {path} is not a JSON list of entries")
+    return entries
+
+
+def validate_entry(
+    entry: Any, index: int = 0, *, known_cases: frozenset[str] = KNOWN_CASES
+) -> list[str]:
+    """Problems with one trajectory entry (empty list = valid)."""
+    where = f"entry[{index}]"
+    if not isinstance(entry, dict):
+        return [f"{where}: not an object"]
+    problems = []
+    for key in REQUIRED_ENTRY_KEYS:
+        if not entry.get(key):
+            problems.append(f"{where}: missing required key {key!r}")
+    timestamp = entry.get("timestamp")
+    if timestamp:
+        try:
+            time.strptime(str(timestamp), _TIMESTAMP_FORMAT)
+        except ValueError:
+            problems.append(f"{where}: timestamp {timestamp!r} is not UTC ISO (YYYY-MM-DDTHH:MM:SSZ)")
+    cases = entry.get("cases")
+    if not isinstance(cases, dict) or not cases:
+        problems.append(f"{where}: missing or empty 'cases' object")
+        return problems
+    for case, data in cases.items():
+        if case not in known_cases:
+            problems.append(f"{where}: unknown case {case!r} (not in the known-case registry)")
+            continue
+        if not isinstance(data, dict):
+            problems.append(f"{where}: case {case!r} is not an object")
+            continue
+        rate = data.get("simulated_cycles_per_second")
+        if not isinstance(rate, (int, float)) or rate <= 0:
+            problems.append(
+                f"{where}: case {case!r} has no positive simulated_cycles_per_second"
+            )
+    return problems
+
+
+def validate_trajectory(
+    entries: list[dict[str, Any]], *, known_cases: frozenset[str] = KNOWN_CASES
+) -> list[str]:
+    """Problems with the whole trajectory: per-entry shape + append-only order."""
+    problems = []
+    last_ts: str | None = None
+    for index, entry in enumerate(entries):
+        problems.extend(validate_entry(entry, index, known_cases=known_cases))
+        ts = entry.get("timestamp") if isinstance(entry, dict) else None
+        if isinstance(ts, str) and ts:
+            # The format is fixed-width UTC ISO, so string order is time order.
+            if last_ts is not None and ts < last_ts:
+                problems.append(
+                    f"entry[{index}]: timestamp {ts} precedes entry[{index - 1}]'s "
+                    f"{last_ts} — the trajectory must be append-only"
+                )
+            last_ts = ts
+    return problems
+
+
+def case_series(entries: list[dict[str, Any]]) -> dict[str, list[dict[str, Any]]]:
+    """Chronological recordings per case: entry metadata + the case payload."""
+    series: dict[str, list[dict[str, Any]]] = {}
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            continue
+        for case, data in (entry.get("cases") or {}).items():
+            if not isinstance(data, dict):
+                continue
+            rate = data.get("simulated_cycles_per_second")
+            if not isinstance(rate, (int, float)):
+                continue
+            series.setdefault(case, []).append(
+                {
+                    "index": index,
+                    "timestamp": entry.get("timestamp"),
+                    "revision": entry.get("revision"),
+                    "rate": float(rate),
+                    "data": data,
+                    "entry": entry,
+                }
+            )
+    return series
+
+
+def latest_rate(entries: list[dict[str, Any]], case: str) -> float | None:
+    """The most recent recorded cycles/s for ``case``, or None."""
+    recordings = case_series(entries).get(case)
+    return recordings[-1]["rate"] if recordings else None
+
+
+@dataclass(frozen=True)
+class CaseDelta:
+    """One case's newest measurement against its baseline."""
+
+    case: str
+    metric: str
+    current: float
+    baseline: float | None
+    floor: float
+    violation: Violation | None = None
+    current_label: str = ""
+    baseline_label: str = ""
+    cross_host: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def new(self) -> bool:
+        return self.baseline is None
+
+    @property
+    def ok(self) -> bool:
+        return self.violation is None
+
+    @property
+    def ratio(self) -> float | None:
+        if self.baseline is None or not self.baseline:
+            return None
+        return self.current / self.baseline
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "case": self.case,
+            "metric": self.metric,
+            "current": self.current,
+            "baseline": self.baseline,
+            "ratio": self.ratio,
+            "floor": self.floor,
+            "ok": self.ok,
+            "new": self.new,
+            "current_label": self.current_label,
+            "baseline_label": self.baseline_label,
+            "cross_host": dict(self.cross_host),
+        }
+
+
+@dataclass
+class DiffResult:
+    """Every per-case delta plus the verdict and the worst offender."""
+
+    deltas: list[CaseDelta]
+    strict: bool
+    source: str
+
+    @property
+    def violations(self) -> list[CaseDelta]:
+        return [d for d in self.deltas if not d.ok]
+
+    @property
+    def worst(self) -> CaseDelta | None:
+        offenders = self.violations
+        if not offenders:
+            return None
+        return max(offenders, key=lambda d: d.violation.severity)  # type: ignore[union-attr]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> dict[str, Any]:
+        worst = self.worst
+        return {
+            "schema": "repro-perf-diff/1",
+            "source": self.source,
+            "strict": self.strict,
+            "floor": rate_floor(self.strict),
+            "ok": self.ok,
+            "worst_offender": worst.case if worst else None,
+            "deltas": [d.as_dict() for d in self.deltas],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"perf diff [{'strict' if self.strict else 'loose'} "
+            f"floor {rate_floor(self.strict):.0%}] — {self.source}"
+        ]
+        width = max((len(d.case) for d in self.deltas), default=4)
+        for delta in sorted(self.deltas, key=lambda d: (d.ok, d.case)):
+            if delta.new:
+                verdict, change = "NEW", "baseline recorded"
+            else:
+                ratio = delta.ratio or 0.0
+                change = f"{ratio - 1:+.1%} ({delta.baseline_label} -> {delta.current_label})"
+                verdict = "ok" if delta.ok else "REGRESSED"
+            note = " [cross-host]" if delta.cross_host else ""
+            lines.append(
+                f"  {delta.case:<{width}}  {delta.metric:<22} "
+                f"{delta.current:>14,.1f}  {verdict:<9} {change}{note}"
+            )
+        worst = self.worst
+        if worst is not None:
+            lines.append(f"WORST OFFENDER: {worst.violation}")
+        else:
+            lines.append(f"all {len(self.deltas)} case(s) within threshold")
+        return "\n".join(lines)
+
+
+def _delta_from_recordings(
+    case: str,
+    current: dict[str, Any],
+    baseline: dict[str, Any] | None,
+    strict: bool | None,
+) -> CaseDelta:
+    floor = rate_floor(strict)
+    if baseline is None:
+        return CaseDelta(
+            case,
+            "simulated cycles/s",
+            current["rate"],
+            None,
+            floor,
+            current_label=str(current.get("revision")),
+        )
+    violation = check_rate(case, current["rate"], baseline["rate"], strict=strict)
+    return CaseDelta(
+        case,
+        "simulated cycles/s",
+        current["rate"],
+        baseline["rate"],
+        floor,
+        violation=violation,
+        current_label=str(current.get("revision")),
+        baseline_label=str(baseline.get("revision")),
+        cross_host=manifest_delta(current["entry"], baseline["entry"]),
+    )
+
+
+def diff_trajectory(
+    entries: list[dict[str, Any]],
+    *,
+    strict: bool | None = None,
+    against: str = "prev",
+    cases: Iterable[str] | None = None,
+) -> DiffResult:
+    """Diff each case's newest recording against its ``prev`` or ``best`` one.
+
+    A case with a single recording is reported as NEW and always passes —
+    the first recording *is* the baseline being established.
+    """
+    if against not in ("prev", "best"):
+        raise ValueError(f"against must be 'prev' or 'best', got {against!r}")
+    series = case_series(entries)
+    wanted = set(cases) if cases is not None else set(series)
+    deltas = []
+    for case in sorted(wanted):
+        recordings = series.get(case)
+        if not recordings:
+            continue
+        current = recordings[-1]
+        history = recordings[:-1]
+        if not history:
+            baseline = None
+        elif against == "best":
+            baseline = max(history, key=lambda r: r["rate"])
+        else:
+            baseline = history[-1]
+        deltas.append(_delta_from_recordings(case, current, baseline, strict))
+    return DiffResult(
+        deltas,
+        strict_mode(strict),
+        f"trajectory newest-vs-{against} over {len(entries)} entr(ies)",
+    )
+
+
+def diff_reports(
+    current: PerfReport, baseline: PerfReport, *, strict: bool | None = None
+) -> DiffResult:
+    """Diff two ``repro-perf/1`` reports: wall seconds and peak RSS per test.
+
+    Both are *cost* metrics — the current value may exceed the baseline by
+    at most ``1/floor`` (~1.05x strict, ~1.67x loose).  Tests present only
+    in one report are reported as NEW (no baseline) and pass.
+    """
+    floor = rate_floor(strict)
+    cross_host = manifest_delta(current.manifest, baseline.manifest)
+    deltas = []
+    for nodeid in sorted(current.records):
+        cur = current.records[nodeid]
+        base = baseline.records.get(nodeid)
+        if base is None:
+            deltas.append(CaseDelta(nodeid, "wall seconds", cur.wall_s, None, floor))
+            continue
+        for metric, cur_value, base_value in (
+            ("wall seconds", cur.wall_s, base.wall_s),
+            ("peak RSS KB", float(cur.peak_rss_kb), float(base.peak_rss_kb)),
+        ):
+            violation = check_cost(nodeid, cur_value, base_value, metric=metric, strict=strict)
+            deltas.append(
+                CaseDelta(
+                    nodeid,
+                    metric,
+                    cur_value,
+                    base_value,
+                    floor,
+                    violation=violation,
+                    current_label="current",
+                    baseline_label="baseline",
+                    cross_host=cross_host,
+                )
+            )
+    return DiffResult(
+        deltas,
+        strict_mode(strict),
+        f"report-vs-report over {len(current.records)} test(s)",
+    )

@@ -1,0 +1,167 @@
+"""Zero-modification pytest plugin: per-test wall/CPU/RSS recording.
+
+No test changes are needed — the plugin wraps ``pytest_runtest_call`` and
+meters every test (benchmark cases included, since each bench case is a
+test) with :class:`PerfMeter`: wall clock via ``time.perf_counter``, CPU
+time and peak RSS via ``resource.getrusage``, and optionally the
+tracemalloc allocation peak (off by default: starting tracemalloc slows
+allocation-heavy tests severely, so it is opt-in).  At session end the
+records — plus the bench trajectory cases, when the session recorded any
+through ``benchmarks.perf_trajectory`` — are written as one
+``repro-perf/1`` report.
+
+Activation paths, any of which suffices:
+
+* installed entry point (``[project.entry-points.pytest11]`` in
+  ``pyproject.toml``) — automatic for installed checkouts;
+* explicit ``-p repro.perfwatch.plugin`` on the pytest command line;
+* the repo's ``tests/conftest.py`` / ``benchmarks/conftest.py``, which
+  call :func:`pytest_configure` for ``PYTHONPATH=src`` runs.
+
+Configuration (CLI options exist only when the plugin loaded early
+enough to add them; the environment variables always work):
+
+* ``--perf-report PATH`` / ``REPRO_PERF_REPORT=PATH`` — write the
+  ``repro-perf/1`` report here (no report is written otherwise).
+* ``--perf-tracemalloc`` / ``REPRO_PERF_TRACEMALLOC=1`` — also record
+  each test's tracemalloc peak.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+from typing import Any, Generator
+
+import pytest
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+from .records import PerfRecord, PerfReport
+
+__all__ = ["PLUGIN_NAME", "REPORT_ENV", "TRACEMALLOC_ENV", "PerfMeter", "PerfWatch"]
+
+PLUGIN_NAME = "repro-perfwatch"
+REPORT_ENV = "REPRO_PERF_REPORT"
+TRACEMALLOC_ENV = "REPRO_PERF_TRACEMALLOC"
+
+
+def _rusage() -> tuple[int, float]:
+    """(peak RSS in KB, CPU seconds user+system) for this process."""
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return 0, time.process_time()
+    ru = resource.getrusage(resource.RUSAGE_SELF)
+    return int(ru.ru_maxrss), ru.ru_utime + ru.ru_stime
+
+
+class PerfMeter:
+    """Meters one region: wall clock, CPU time, RSS, optional tracemalloc.
+
+    The wall clock is read innermost (last on start, first on stop) so the
+    meter's own bookkeeping never inflates the measured wall time.
+    """
+
+    __slots__ = ("trace_alloc", "_started_tracing", "_wall0", "_cpu0", "_rss0")
+
+    def __init__(self, trace_alloc: bool = False) -> None:
+        self.trace_alloc = trace_alloc
+        self._started_tracing = False
+
+    def start(self) -> "PerfMeter":
+        self._rss0, self._cpu0 = _rusage()
+        if self.trace_alloc and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracing = True
+        self._wall0 = time.perf_counter()
+        return self
+
+    def stop(self, outcome: str = "passed") -> PerfRecord:
+        wall = time.perf_counter() - self._wall0
+        peak_kb: int | None = None
+        if self._started_tracing:
+            _, peak_bytes = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            self._started_tracing = False
+            peak_kb = peak_bytes // 1024
+        rss1, cpu1 = _rusage()
+        return PerfRecord(
+            wall_s=wall,
+            cpu_s=max(cpu1 - self._cpu0, 0.0),
+            peak_rss_kb=rss1,
+            rss_growth_kb=max(rss1 - self._rss0, 0),
+            tracemalloc_peak_kb=peak_kb,
+            outcome=outcome,
+        )
+
+
+class PerfWatch:
+    """The registered plugin object: meters every test, writes the report."""
+
+    def __init__(self, report_path: str | None, trace_alloc: bool) -> None:
+        self.report_path = report_path
+        self.trace_alloc = trace_alloc
+        self.report = PerfReport()
+
+    @pytest.hookimpl(wrapper=True)
+    def pytest_runtest_call(self, item: pytest.Item) -> Generator[None, Any, Any]:
+        meter = PerfMeter(self.trace_alloc).start()
+        try:
+            result = yield
+        except BaseException:
+            self.report.records[item.nodeid] = meter.stop(outcome="failed")
+            raise
+        self.report.records[item.nodeid] = meter.stop()
+        return result
+
+    def pytest_sessionfinish(self, session: pytest.Session, exitstatus: int) -> None:
+        if not self.report_path:
+            return
+        try:
+            # Bench sessions record per-case cycles/s through the trajectory
+            # module; fold them into the report so one artifact carries both
+            # resource usage and throughput.  Ordering-safe: peek() returns
+            # the pending cases or, post-flush, the last flushed snapshot.
+            from benchmarks.perf_trajectory import peek
+
+            self.report.cases = peek()
+        except ImportError:
+            pass
+        self.report.write(self.report_path)
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    group = parser.getgroup("perfwatch", "perfwatch: per-test wall/CPU/RSS recording")
+    group.addoption(
+        "--perf-report",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=f"write the repro-perf/1 resource report to PATH (or set {REPORT_ENV})",
+    )
+    group.addoption(
+        "--perf-tracemalloc",
+        action="store_true",
+        default=False,
+        help=f"also record each test's tracemalloc peak (slower; or set {TRACEMALLOC_ENV}=1)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    """Register the meter once, however the plugin module was reached.
+
+    Callable both as a plugin hook (entry point / ``-p`` load) and directly
+    from a conftest's own ``pytest_configure`` — the conftest path cannot
+    add CLI options (option parsing already happened), so the environment
+    variables are the config surface there.
+    """
+    if config.pluginmanager.get_plugin(PLUGIN_NAME) is not None:
+        return
+    report_path = getattr(config.option, "perf_report", None) or os.environ.get(REPORT_ENV)
+    trace_alloc = bool(
+        getattr(config.option, "perf_tracemalloc", False) or os.environ.get(TRACEMALLOC_ENV)
+    )
+    config.pluginmanager.register(PerfWatch(report_path or None, trace_alloc), PLUGIN_NAME)

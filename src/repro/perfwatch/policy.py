@@ -1,0 +1,115 @@
+"""Shared strict/loose regression threshold policy.
+
+Every perf guard in the repository — the per-case trajectory guards in
+``benchmarks/bench_streaming_sim.py``, the telemetry/loadgen overhead
+bounds, and the ``repro perf diff`` CI gate — draws its floor from here
+instead of hard-coding it.  Two regimes:
+
+* **strict** (``REPRO_BENCH_STRICT=1``, quiet dedicated machine): a run
+  may lose at most 5% against its baseline (floor 0.95).
+* **loose** (default, shared/noisy CI runner): a 40% sanity bound
+  (floor 0.60) that still catches real regressions without flaking on
+  scheduler noise.
+
+The same floor doubles for *cost* metrics (wall seconds, peak RSS) with
+the inequality inverted: a cost may grow to at most ``baseline / floor``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = [
+    "STRICT_FLOOR",
+    "LOOSE_FLOOR",
+    "STRICT_ENV",
+    "strict_mode",
+    "rate_floor",
+    "Violation",
+    "check_rate",
+    "check_cost",
+]
+
+STRICT_FLOOR = 0.95
+LOOSE_FLOOR = 0.60
+STRICT_ENV = "REPRO_BENCH_STRICT"
+
+
+def strict_mode(strict: bool | None = None) -> bool:
+    """Resolve the strictness flag: explicit argument wins, else the env var."""
+    if strict is None:
+        return bool(os.environ.get(STRICT_ENV))
+    return strict
+
+
+def rate_floor(strict: bool | None = None) -> float:
+    """The fraction of the baseline a rate must retain (0.95 strict, 0.60 loose)."""
+    return STRICT_FLOOR if strict_mode(strict) else LOOSE_FLOOR
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One threshold breach: which case, which metric, by how much."""
+
+    case: str
+    metric: str
+    kind: str  # "rate" (bigger is better) or "cost" (smaller is better)
+    current: float
+    baseline: float
+    floor: float
+
+    @property
+    def ratio(self) -> float:
+        """current / baseline (below ``floor`` for rates, above ``1/floor`` for costs)."""
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    @property
+    def severity(self) -> float:
+        """How many times past the allowed bound (>1 by construction); sortable."""
+        if self.kind == "rate":
+            return (self.baseline * self.floor) / self.current if self.current else float("inf")
+        return self.current / (self.baseline / self.floor)
+
+    def __str__(self) -> str:
+        if self.kind == "rate":
+            return (
+                f"{self.case}: {self.metric} {self.current:,.1f} is below "
+                f"{self.floor:.0%} of the baseline {self.baseline:,.1f} "
+                f"({self.ratio:.1%} retained)"
+            )
+        return (
+            f"{self.case}: {self.metric} {self.current:,.1f} exceeds "
+            f"{1 / self.floor:.2f}x the baseline {self.baseline:,.1f} "
+            f"({self.ratio:.2f}x)"
+        )
+
+
+def check_rate(
+    case: str,
+    current: float,
+    baseline: float,
+    *,
+    metric: str = "simulated cycles/s",
+    strict: bool | None = None,
+) -> Violation | None:
+    """Bigger-is-better check: None if ``current >= baseline * floor``."""
+    floor = rate_floor(strict)
+    if current >= baseline * floor:
+        return None
+    return Violation(case, metric, "rate", float(current), float(baseline), floor)
+
+
+def check_cost(
+    case: str,
+    current: float,
+    baseline: float,
+    *,
+    metric: str = "wall seconds",
+    strict: bool | None = None,
+) -> Violation | None:
+    """Smaller-is-better check: None if ``current <= baseline / floor``."""
+    floor = rate_floor(strict)
+    if baseline <= 0 or current <= baseline / floor:
+        return None
+    return Violation(case, metric, "cost", float(current), float(baseline), floor)

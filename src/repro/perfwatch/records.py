@@ -1,0 +1,157 @@
+"""Typed ``repro-perf/1`` resource reports.
+
+One :class:`PerfReport` is the durable artifact of a pytest session run
+under the perfwatch plugin: per-test wall time, CPU time, and peak RSS
+(plus the optional tracemalloc peak), stamped with the same host manifest
+(`repro.telemetry.manifest.host_manifest`) that every trajectory entry in
+``BENCH_streaming.json`` carries, so reports from different machines and
+revisions stay comparable.  When the session was a benchmark sweep, the
+report also folds in the per-case ``simulated_cycles_per_second`` payload
+the trajectory recorded, making the report self-contained evidence for a
+speed claim.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..telemetry.manifest import host_manifest
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "TIMING_FIELDS",
+    "PerfDataError",
+    "PerfRecord",
+    "PerfReport",
+]
+
+REPORT_SCHEMA = "repro-perf/1"
+
+# Every field whose value depends on how fast the host happened to run —
+# stripped by ``PerfReport.stable_dict`` so determinism tests can compare
+# two sessions of the same suite byte-for-byte.
+TIMING_FIELDS = frozenset(
+    {"wall_s", "cpu_s", "peak_rss_kb", "rss_growth_kb", "tracemalloc_peak_kb"}
+)
+
+
+class PerfDataError(ValueError):
+    """A perf report or trajectory file is malformed."""
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """Resource measurements for one test (or one metered region)."""
+
+    wall_s: float
+    cpu_s: float
+    peak_rss_kb: int
+    rss_growth_kb: int
+    tracemalloc_peak_kb: int | None = None
+    outcome: str = "passed"
+
+    def as_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "PerfRecord":
+        try:
+            return cls(
+                wall_s=float(payload["wall_s"]),
+                cpu_s=float(payload["cpu_s"]),
+                peak_rss_kb=int(payload["peak_rss_kb"]),
+                rss_growth_kb=int(payload["rss_growth_kb"]),
+                tracemalloc_peak_kb=(
+                    None
+                    if payload.get("tracemalloc_peak_kb") is None
+                    else int(payload["tracemalloc_peak_kb"])
+                ),
+                outcome=str(payload.get("outcome", "passed")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PerfDataError(f"malformed perf record: {exc}") from exc
+
+
+@dataclass
+class PerfReport:
+    """A full session report: manifest + per-test records + bench cases."""
+
+    records: dict[str, PerfRecord] = field(default_factory=dict)
+    cases: dict[str, dict[str, Any]] = field(default_factory=dict)
+    manifest: dict[str, Any] = field(default_factory=host_manifest)
+    timestamp: str = field(
+        default_factory=lambda: time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "schema": REPORT_SCHEMA,
+            "timestamp": self.timestamp,
+            **self.manifest,
+            "records": {k: r.as_dict() for k, r in sorted(self.records.items())},
+            "cases": dict(sorted(self.cases.items())),
+        }
+
+    def stable_dict(self) -> dict[str, Any]:
+        """The report minus every timing-dependent field.
+
+        Two runs of the same suite on the same tree must produce identical
+        stable dicts: same tests, same outcomes, same case keys, same host
+        manifest (modulo the ``-dirty`` describe suffix and the wall clock).
+        """
+        payload = self.as_dict()
+        payload.pop("timestamp", None)
+        payload.pop("git_describe", None)
+        payload["records"] = {
+            node: {k: v for k, v in rec.items() if k not in TIMING_FIELDS}
+            for node, rec in payload["records"].items()
+        }
+        payload["cases"] = {
+            case: {
+                k: v
+                for k, v in data.items()
+                if k not in ("seconds", "simulated_cycles_per_second", "serial_seconds", "speedup")
+            }
+            for case, data in payload["cases"].items()
+        }
+        return payload
+
+    def write(self, path: str | Path) -> Path:
+        out = Path(path)
+        out.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "PerfReport":
+        if not isinstance(payload, dict) or payload.get("schema") != REPORT_SCHEMA:
+            raise PerfDataError(
+                f"not a {REPORT_SCHEMA} report (schema={payload.get('schema')!r})"
+                if isinstance(payload, dict)
+                else "not a repro-perf/1 report (top level is not an object)"
+            )
+        records_raw = payload.get("records")
+        if not isinstance(records_raw, dict):
+            raise PerfDataError("repro-perf/1 report has no 'records' object")
+        manifest = {
+            k: v
+            for k, v in payload.items()
+            if k not in ("schema", "timestamp", "records", "cases")
+        }
+        return cls(
+            records={k: PerfRecord.from_dict(v) for k, v in records_raw.items()},
+            cases=dict(payload.get("cases") or {}),
+            manifest=manifest,
+            timestamp=str(payload.get("timestamp", "")),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PerfReport":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PerfDataError(f"cannot read perf report {path}: {exc}") from exc
+        return cls.from_dict(payload)

@@ -1,0 +1,163 @@
+"""Trajectory report rendering: ANSI sparkline table, markdown, HTML, JSON.
+
+``repro perf report`` feeds the parsed ``BENCH_streaming.json`` entries
+through these renderers.  The summary table compresses each case's whole
+history into one row (first/last/best rate plus a sparkline); the
+markdown and HTML renderings additionally list **every** recording of
+every case — timestamp, revision, rate — so the full trajectory across
+all revisions is readable without touching the raw JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .baseline import case_series
+
+__all__ = [
+    "sparkline",
+    "trajectory_payload",
+    "render_table",
+    "render_markdown",
+    "render_html",
+]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float]) -> str:
+    """One block character per value, scaled to the min..max span."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_CHARS[3] * len(values)
+    span = hi - lo
+    top = len(_SPARK_CHARS) - 1
+    return "".join(_SPARK_CHARS[round((v - lo) / span * top)] for v in values)
+
+
+def _fmt_rate(rate: float) -> str:
+    return f"{rate:,.0f}"
+
+
+def trajectory_payload(entries: list[dict[str, Any]]) -> dict[str, Any]:
+    """Machine-readable trajectory: per-case recording lists + summary."""
+    series = case_series(entries)
+    cases = {}
+    for case, recordings in sorted(series.items()):
+        rates = [r["rate"] for r in recordings]
+        cases[case] = {
+            "recordings": [
+                {
+                    "timestamp": r["timestamp"],
+                    "revision": r["revision"],
+                    "simulated_cycles_per_second": r["rate"],
+                }
+                for r in recordings
+            ],
+            "first": rates[0],
+            "last": rates[-1],
+            "best": max(rates),
+            "overall_change": rates[-1] / rates[0] - 1 if rates[0] else None,
+        }
+    return {
+        "schema": "repro-perf-trajectory/1",
+        "entries": len(entries),
+        "cases": cases,
+    }
+
+
+def render_table(entries: list[dict[str, Any]]) -> str:
+    """The ANSI summary: one sparkline row per case across all entries."""
+    series = case_series(entries)
+    if not series:
+        return "no recorded cases"
+    width = max(len(case) for case in series)
+    header = (
+        f"{'case':<{width}}  {'runs':>4}  {'first':>12}  {'last':>12}  "
+        f"{'best':>12}  {'Δ overall':>9}  trajectory"
+    )
+    lines = [f"perf trajectory — {len(entries)} entr(ies)", header, "-" * len(header)]
+    for case, recordings in sorted(series.items()):
+        rates = [r["rate"] for r in recordings]
+        change = f"{rates[-1] / rates[0] - 1:+.0%}" if rates[0] else "n/a"
+        lines.append(
+            f"{case:<{width}}  {len(rates):>4}  {_fmt_rate(rates[0]):>12}  "
+            f"{_fmt_rate(rates[-1]):>12}  {_fmt_rate(max(rates)):>12}  "
+            f"{change:>9}  {sparkline(rates)}"
+        )
+    lines.append("(rates are simulated cycles per wall second)")
+    return "\n".join(lines)
+
+
+def render_markdown(entries: list[dict[str, Any]]) -> str:
+    """Markdown: summary table plus every recording of every case."""
+    series = case_series(entries)
+    lines = [
+        "# Simulator perf trajectory",
+        "",
+        f"{len(entries)} trajectory entr(ies), {len(series)} case(s); rates are "
+        "simulated cycles per wall second.",
+        "",
+        "| case | runs | first | last | best | Δ overall | trajectory |",
+        "|---|---:|---:|---:|---:|---:|---|",
+    ]
+    for case, recordings in sorted(series.items()):
+        rates = [r["rate"] for r in recordings]
+        change = f"{rates[-1] / rates[0] - 1:+.0%}" if rates[0] else "n/a"
+        lines.append(
+            f"| `{case}` | {len(rates)} | {_fmt_rate(rates[0])} | {_fmt_rate(rates[-1])} "
+            f"| {_fmt_rate(max(rates))} | {change} | `{sparkline(rates)}` |"
+        )
+    for case, recordings in sorted(series.items()):
+        lines += [
+            "",
+            f"## `{case}`",
+            "",
+            "| timestamp | revision | simulated cycles/s |",
+            "|---|---|---:|",
+        ]
+        for r in recordings:
+            lines.append(f"| {r['timestamp']} | `{r['revision']}` | {_fmt_rate(r['rate'])} |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_html(entries: list[dict[str, Any]]) -> str:
+    """A standalone HTML page with the same content as the markdown report."""
+    series = case_series(entries)
+    rows = []
+    for case, recordings in sorted(series.items()):
+        rates = [r["rate"] for r in recordings]
+        change = f"{rates[-1] / rates[0] - 1:+.0%}" if rates[0] else "n/a"
+        rows.append(
+            f"<tr><td><code>{case}</code></td><td>{len(rates)}</td>"
+            f"<td>{_fmt_rate(rates[0])}</td><td>{_fmt_rate(rates[-1])}</td>"
+            f"<td>{_fmt_rate(max(rates))}</td><td>{change}</td>"
+            f"<td><code>{sparkline(rates)}</code></td></tr>"
+        )
+    details = []
+    for case, recordings in sorted(series.items()):
+        body = "".join(
+            f"<tr><td>{r['timestamp']}</td><td><code>{r['revision']}</code></td>"
+            f"<td>{_fmt_rate(r['rate'])}</td></tr>"
+            for r in recordings
+        )
+        details.append(
+            f"<h2><code>{case}</code></h2><table>"
+            "<tr><th>timestamp</th><th>revision</th><th>simulated cycles/s</th></tr>"
+            f"{body}</table>"
+        )
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>Simulator perf trajectory</title><style>"
+        "body{font-family:sans-serif;margin:2em}table{border-collapse:collapse}"
+        "td,th{border:1px solid #999;padding:4px 8px;text-align:right}"
+        "td:first-child,th:first-child{text-align:left}</style></head><body>"
+        f"<h1>Simulator perf trajectory</h1><p>{len(entries)} trajectory entr(ies), "
+        f"{len(series)} case(s); rates are simulated cycles per wall second.</p>"
+        "<table><tr><th>case</th><th>runs</th><th>first</th><th>last</th>"
+        "<th>best</th><th>Δ overall</th><th>trajectory</th></tr>"
+        f"{''.join(rows)}</table>{''.join(details)}</body></html>\n"
+    )
